@@ -1,0 +1,221 @@
+// Package repro is a Go implementation of "Low-Congestion Shortcuts in
+// Constant Diameter Graphs" (Kogan & Parter, PODC 2021): shortcut
+// constructions with quality ˜O(n^((D-2)/(2D-2))) for n-vertex graphs of
+// constant diameter D, a CONGEST-model simulator the distributed algorithms
+// run on, and the shortcut-powered applications of Corollary 1.2 and
+// Section 4 — MST, approximate minimum cut, approximate SSSP, and
+// approximate 2-ECSS.
+//
+// The facade re-exports the library's stable surface; internal packages
+// carry the full machinery (see DESIGN.md for the module map).
+//
+// Quick start:
+//
+//	g, _ := repro.ClusterChain(10_000, 6, rng)    // diameter-6 graph
+//	parts, _ := repro.VoronoiParts(g, 64, rng)    // disjoint connected parts
+//	p, _ := repro.NewPartition(g, parts)
+//	s, _ := repro.BuildShortcuts(g, p, repro.ShortcutOptions{Diameter: 6, Rng: rng})
+//	q, _ := s.Dilation(0)
+//	fmt.Println(q) // c=…, d=…
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mincut"
+	"repro/internal/mst"
+	"repro/internal/shortcut"
+	"repro/internal/sssp"
+	"repro/internal/twoecss"
+)
+
+// Graph is an immutable simple undirected graph in CSR form with stable
+// undirected edge identifiers.
+type Graph = graph.Graph
+
+// NodeID identifies a vertex; EdgeID identifies an undirected edge.
+type (
+	NodeID = graph.NodeID
+	EdgeID = graph.EdgeID
+)
+
+// Weights assigns a positive weight to every edge, indexed by EdgeID.
+type Weights = graph.Weights
+
+// GraphBuilder accumulates edges and produces an immutable Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph on n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n nodes from an explicit edge list.
+func FromEdges(n int, edges [][2]NodeID) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// Partition is a validated collection of vertex-disjoint connected parts
+// with max-ID leaders — the input to every shortcut construction.
+type Partition = shortcut.Partition
+
+// NewPartition validates the parts (non-empty, disjoint, connected).
+func NewPartition(g *Graph, parts [][]NodeID) (*Partition, error) {
+	return shortcut.NewPartition(g, parts)
+}
+
+// Shortcuts is a computed shortcut assignment with quality measurement.
+type Shortcuts = shortcut.Shortcuts
+
+// Quality is a measured (congestion, dilation) pair.
+type Quality = shortcut.Quality
+
+// ShortcutOptions configures the centralized construction (see
+// shortcut.Options for field semantics).
+type ShortcutOptions = shortcut.Options
+
+// BuildShortcuts runs the paper's centralized sampling construction
+// (Section 2).
+func BuildShortcuts(g *Graph, p *Partition, opts ShortcutOptions) (*Shortcuts, error) {
+	return shortcut.Build(g, p, opts)
+}
+
+// DistShortcutOptions configures the CONGEST-simulated construction.
+type DistShortcutOptions = shortcut.DistOptions
+
+// DistShortcutResult is the simulated construction's outcome with exact
+// round and message accounting.
+type DistShortcutResult = shortcut.DistResult
+
+// BuildShortcutsDistributed runs the full distributed pipeline of Section 2
+// (leader election, part classification, numbering, local sampling,
+// random-delay scheduled BFS, verification, diameter guessing) on the
+// CONGEST simulator.
+func BuildShortcutsDistributed(g *Graph, p *Partition, opts DistShortcutOptions) (*DistShortcutResult, error) {
+	return shortcut.BuildDistributed(g, p, opts)
+}
+
+// GhaffariHaeuplerShortcuts builds the generic O(D+√n)-quality baseline
+// shortcuts of [GH16] (experiment E5's comparison arm).
+func GhaffariHaeuplerShortcuts(p *Partition, root NodeID) *Shortcuts {
+	return shortcut.GhaffariHaeupler(p, root)
+}
+
+// BuildShortcutsDeterministic is the derandomized variant exploring the
+// paper's derandomization open end: structurally capped congestion,
+// empirically-evaluated dilation (experiment A4).
+func BuildShortcutsDeterministic(g *Graph, p *Partition, opts ShortcutOptions) (*Shortcuts, error) {
+	return shortcut.BuildDeterministic(g, p, opts)
+}
+
+// LocalShortcutOptions configures the locality-restricted variant.
+type LocalShortcutOptions = shortcut.LocalOptions
+
+// BuildShortcutsLocal is the message-efficient variant exploring the paper's
+// message-complexity open end: sampling restricted to the D/2-hop horizon of
+// each part (experiment A5).
+func BuildShortcutsLocal(g *Graph, p *Partition, opts LocalShortcutOptions) (*Shortcuts, error) {
+	return shortcut.BuildLocal(g, p, opts)
+}
+
+// TrivialShortcuts is the empty assignment (Hi = ∅).
+func TrivialShortcuts(p *Partition) *Shortcuts { return shortcut.Trivial(p) }
+
+// KD returns the paper's quality scale kD = n^((D-2)/(2D-2)).
+func KD(n, d int) float64 { return gen.KD(n, d) }
+
+// --- Generators --------------------------------------------------------------
+
+// ClusterChain generates a connected n-vertex graph of diameter exactly d
+// with Θ(n) edges — the "typical constant-diameter network" workload.
+func ClusterChain(n, d int, rng *rand.Rand) (*Graph, error) { return gen.ClusterChain(n, d, rng) }
+
+// HardInstance is an Elkin/Lotker-style lower-bound-shaped graph with its
+// path partition; see gen.HardInstance.
+type HardInstance = gen.HardInstance
+
+// NewHardInstance generates a hard instance on ~n vertices of diameter d.
+func NewHardInstance(n, d int, rng *rand.Rand) (*HardInstance, error) {
+	return gen.NewHardInstance(n, d, 0, 0, rng)
+}
+
+// VoronoiParts partitions a connected graph into k connected parts by
+// growing balls from random seeds.
+func VoronoiParts(g *Graph, k int, rng *rand.Rand) ([][]NodeID, error) {
+	return gen.VoronoiParts(g, k, rng)
+}
+
+// UniformWeights draws independent edge weights in (0, 1].
+func UniformWeights(g *Graph, rng *rand.Rand) Weights {
+	return graph.NewUniformWeights(g.NumEdges(), rng)
+}
+
+// --- Applications -------------------------------------------------------------
+
+// MST computes the exact minimum spanning tree/forest (Kruskal).
+func MST(g *Graph, w Weights) ([]EdgeID, error) { return mst.Kruskal(g, w) }
+
+// MSTDistOptions configures the distributed MST (see mst.DistOptions).
+type MSTDistOptions = mst.DistOptions
+
+// MSTDistResult is the distributed MST outcome with cost accounting.
+type MSTDistResult = mst.DistResult
+
+// MSTDistributed computes the MST with Borůvka phases through low-congestion
+// shortcuts (Corollary 1.2): ˜O(kD) rounds on constant-diameter graphs.
+func MSTDistributed(g *Graph, w Weights, opts MSTDistOptions) (*MSTDistResult, error) {
+	return mst.Distributed(g, w, opts)
+}
+
+// MinCut computes the exact weighted global minimum cut (Stoer–Wagner).
+func MinCut(g *Graph, w Weights) (float64, []NodeID, error) { return mincut.StoerWagner(g, w) }
+
+// MinCutApproxOptions configures the tree-packing approximation.
+type MinCutApproxOptions = mincut.ApproxOptions
+
+// MinCutApproxResult is the approximation outcome.
+type MinCutApproxResult = mincut.ApproxResult
+
+// MinCutApprox approximates the minimum cut via greedy tree packing over the
+// shortcut-MST (Corollary 1.2's reduction; see DESIGN.md substitutions).
+func MinCutApprox(g *Graph, w Weights, opts MinCutApproxOptions) (*MinCutApproxResult, error) {
+	return mincut.Approx(g, w, opts)
+}
+
+// SSSP computes exact shortest-path distances (Dijkstra).
+func SSSP(g *Graph, w Weights, src NodeID) ([]float64, error) { return sssp.Dijkstra(g, w, src) }
+
+// SSSPTreeOptions configures the shortcut-tree approximate SSSP.
+type SSSPTreeOptions = sssp.TreeOptions
+
+// SSSPTreeResult is the approximate SSSP outcome.
+type SSSPTreeResult = sssp.TreeResult
+
+// SSSPApprox computes approximate SSSP distances through the shortcut-MST
+// (Corollary 4.2's reduction shape; stretch measured, not guaranteed).
+func SSSPApprox(g *Graph, w Weights, src NodeID, opts SSSPTreeOptions) (*SSSPTreeResult, error) {
+	return sssp.TreeApprox(g, w, src, opts)
+}
+
+// TwoECSSOptions configures the 2-ECSS approximation.
+type TwoECSSOptions = twoecss.Options
+
+// TwoECSSResult is the 2-ECSS outcome.
+type TwoECSSResult = twoecss.Result
+
+// TwoECSS computes an approximate minimum-weight two-edge-connected spanning
+// subgraph (Corollary 4.3's reduction shape).
+func TwoECSS(g *Graph, w Weights, opts TwoECSSOptions) (*TwoECSSResult, error) {
+	return twoecss.Approx(g, w, opts)
+}
+
+// --- CONGEST access ------------------------------------------------------------
+
+// CongestStats aggregates simulated rounds and messages.
+type CongestStats = congest.Stats
+
+// RunSequential and RunGoroutines are the two CONGEST engines, exposed for
+// users who want to run their own Programs (see internal/congest docs).
+var (
+	RunSequential = congest.RunSequential
+	RunGoroutines = congest.RunGoroutines
+)

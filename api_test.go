@@ -1,0 +1,139 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := repro.ClusterChain(800, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := repro.VoronoiParts(g, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := repro.NewPartition(g, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := repro.BuildShortcuts(g, p, repro.ShortcutOptions{Diameter: 5, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Dilation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trivial := repro.TrivialShortcuts(p)
+	tq, err := trivial.Dilation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.DilationHi > tq.DilationHi {
+		t.Errorf("shortcuts made dilation worse: %d vs trivial %d", q.DilationHi, tq.DilationHi)
+	}
+}
+
+func TestFacadeMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := repro.ClusterChain(300, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := repro.UniformWeights(g, rng)
+	exact, err := repro.MST(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := repro.MSTDistributed(g, w, repro.MSTDistOptions{Rng: rng, Diameter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Tree) != len(exact) {
+		t.Errorf("tree sizes differ: %d vs %d", len(dist.Tree), len(exact))
+	}
+	if diff := dist.Weight - w.Total(exact); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("weights differ: %f vs %f", dist.Weight, w.Total(exact))
+	}
+}
+
+func TestFacadeMinCutAndSSSP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := repro.ClusterChain(120, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := repro.UniformWeights(g, rng)
+	exact, _, err := repro.MinCut(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := repro.MinCutApprox(g, w, repro.MinCutApproxOptions{Rng: rng, Trees: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Value < exact-1e-9 {
+		t.Errorf("approx cut %f below exact %f", approx.Value, exact)
+	}
+
+	dists, err := repro.SSSP(g, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := repro.SSSPApprox(g, w, 0, repro.SSSPTreeOptions{Rng: rng, Diameter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range dists {
+		if ap.Dist[v] < dists[v]-1e-9 {
+			t.Errorf("approx dist[%d]=%f below exact %f", v, ap.Dist[v], dists[v])
+		}
+	}
+}
+
+func TestFacadeHardInstanceAndDistributed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	hi, err := repro.NewHardInstance(600, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := repro.NewPartition(hi.G, hi.Paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.BuildShortcutsDistributed(hi.G, p, repro.DistShortcutOptions{
+		Rng: rng, KnownDiameter: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 {
+		t.Error("no rounds recorded")
+	}
+	if repro.KD(600, 4) <= 1 {
+		t.Error("KD(600,4) should exceed 1")
+	}
+}
+
+func TestFacadeGraphBuilder(t *testing.T) {
+	b := repro.NewGraphBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Errorf("built %s", g)
+	}
+	g2, err := repro.FromEdges(2, [][2]repro.NodeID{{0, 1}})
+	if err != nil || g2.NumEdges() != 1 {
+		t.Errorf("FromEdges: %v", err)
+	}
+}

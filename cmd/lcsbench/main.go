@@ -1,0 +1,157 @@
+// Command lcsbench regenerates every experiment in EXPERIMENTS.md: the
+// quality, round, congestion, dilation, message, scheduling, and
+// application measurements that operationalize the paper's claims.
+//
+// Usage:
+//
+//	lcsbench [flags] <experiment>
+//
+// where <experiment> is one of: quality (E1), rounds (E2), congestion (E3),
+// dilation (E4), baselines (E5), mst (E6), mincut (E7), messages (E8),
+// oddeven (E9), sched (E10), walks (E11), sssp (E12), twoecss (E13),
+// ablation (A1+A2), or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lcsbench:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	name  string
+	id    string
+	brief string
+	run   func(expt.Config) (*expt.Table, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"quality", "E1", "shortcut quality c+d vs n (Theorem 1.1)", expt.E1Quality},
+		{"rounds", "E2", "distributed construction rounds (Theorem 1.1)", expt.E2Rounds},
+		{"congestion", "E3", "edge congestion vs Chernoff bound (Section 2)", expt.E3Congestion},
+		{"dilation", "E4", "dilation vs O(kD log n) (Theorem 3.1)", expt.E4Dilation},
+		{"baselines", "E5", "ours vs GH16 vs trivial (crossover)", expt.E5Baselines},
+		{"mst", "E6", "distributed MST rounds (Corollary 1.2)", expt.E6MST},
+		{"mincut", "E7", "approximate min cut (Corollary 1.2)", expt.E7MinCut},
+		{"messages", "E8", "message complexity vs m*kD (Section 1)", expt.E8Messages},
+		{"oddeven", "E9", "odd vs even diameter handling (Section 3.2)", expt.E9OddEven},
+		{"sched", "E10", "random-delay scheduling (Theorem 2.1)", expt.E10Scheduler},
+		{"walks", "E11", "(i,k)-walk lengths (Lemma 3.3)", expt.E11Walks},
+		{"sssp", "E12", "approximate SSSP (Corollary 4.2)", expt.E12SSSP},
+		{"twoecss", "E13", "2-ECSS approximation (Corollary 4.3)", expt.E13TwoECSS},
+		{"ablation-reps", "A1", "sampling repetitions ablation", expt.A1Repetitions},
+		{"ablation-sched", "A2", "random-delay ablation", expt.A2Scheduling},
+		{"ablation-det", "A4", "deterministic construction (open end)", expt.A4Deterministic},
+		{"ablation-local", "A5", "locality-restricted sampling (open end)", expt.A5Local},
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lcsbench", flag.ContinueOnError)
+	var (
+		sizes     = fs.String("sizes", "", "comma-separated n sweep (default per config)")
+		distSizes = fs.String("dist-sizes", "", "comma-separated n sweep for simulated experiments")
+		diameters = fs.String("diameters", "", "comma-separated D sweep")
+		seed      = fs.Int64("seed", 42, "random seed")
+		logFactor = fs.Float64("logfactor", 0.3, "sampling probability log-term scale")
+		quick     = fs.Bool("quick", false, "reduced sweeps")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: lcsbench [flags] <experiment>")
+		fmt.Fprintln(fs.Output(), "experiments:")
+		for _, e := range experiments() {
+			fmt.Fprintf(fs.Output(), "  %-16s %-4s %s\n", e.name, e.id, e.brief)
+		}
+		fmt.Fprintln(fs.Output(), "  ablation              A1+A2")
+		fmt.Fprintln(fs.Output(), "  all                   every experiment")
+		fmt.Fprintln(fs.Output(), "flags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment name")
+	}
+	target := fs.Arg(0)
+
+	cfg := expt.Config{
+		Seed:      *seed,
+		LogFactor: *logFactor,
+		Quick:     *quick,
+	}
+	var err error
+	if cfg.Sizes, err = parseInts(*sizes); err != nil {
+		return fmt.Errorf("-sizes: %w", err)
+	}
+	if cfg.DistSizes, err = parseInts(*distSizes); err != nil {
+		return fmt.Errorf("-dist-sizes: %w", err)
+	}
+	if cfg.Diameters, err = parseInts(*diameters); err != nil {
+		return fmt.Errorf("-diameters: %w", err)
+	}
+
+	var selected []experiment
+	switch target {
+	case "all":
+		selected = experiments()
+	case "ablation":
+		for _, e := range experiments() {
+			if strings.HasPrefix(e.name, "ablation") {
+				selected = append(selected, e)
+			}
+		}
+	default:
+		for _, e := range experiments() {
+			if e.name == target || e.id == target || strings.EqualFold(e.id, target) {
+				selected = append(selected, e)
+			}
+		}
+	}
+	if len(selected) == 0 {
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", target)
+	}
+	for _, e := range selected {
+		tbl, err := e.run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		if *csv {
+			tbl.CSV(os.Stdout)
+		} else {
+			tbl.Fprint(os.Stdout)
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

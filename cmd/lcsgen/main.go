@@ -1,0 +1,91 @@
+// Command lcsgen generates the repository's benchmark instances and writes
+// them in the graphio text format, so that instances can be inspected,
+// exchanged with other tools, or pinned as regression fixtures.
+//
+// Usage:
+//
+//	lcsgen -family hard -n 4000 -d 4 [-seed 42] [-weights] [-parts] > inst.lcs
+//	lcsgen -family chain -n 4000 -d 6
+//	lcsgen -family er -n 1000 -p 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lcsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lcsgen", flag.ContinueOnError)
+	var (
+		family  = fs.String("family", "hard", "instance family: hard, chain, er, dumbbell")
+		n       = fs.Int("n", 1000, "approximate node count")
+		d       = fs.Int("d", 4, "diameter (hard, chain)")
+		p       = fs.Float64("p", 0.01, "edge probability (er)")
+		seed    = fs.Int64("seed", 42, "random seed")
+		weights = fs.Bool("weights", false, "attach uniform (0,1] edge weights")
+		parts   = fs.Bool("parts", false, "emit the canonical partition (hard: paths; others: 16 Voronoi cells)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var (
+		g        *graph.Graph
+		partList [][]graph.NodeID
+		err      error
+	)
+	switch *family {
+	case "hard":
+		var hi *gen.HardInstance
+		hi, err = gen.NewHardInstance(*n, *d, 0, 0, rng)
+		if err == nil {
+			g = hi.G
+			partList = hi.Paths
+		}
+	case "chain":
+		g, err = gen.ClusterChain(*n, *d, rng)
+	case "er":
+		g = gen.ErdosRenyi(*n, *p, rng)
+	case "dumbbell":
+		g = gen.Dumbbell(*n/2, *n/10+2)
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	if err != nil {
+		return err
+	}
+
+	var w graph.Weights
+	if *weights {
+		w = graph.NewUniformWeights(g.NumEdges(), rng)
+	}
+	if err := graphio.WriteGraph(os.Stdout, g, w); err != nil {
+		return err
+	}
+	if *parts {
+		if partList == nil {
+			partList, err = gen.VoronoiParts(g, 16, rng)
+			if err != nil {
+				return err
+			}
+		}
+		if err := graphio.WritePartition(os.Stdout, partList); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a constant-diameter graph, partition it, compute
+// low-congestion shortcuts, and compare the quality against the trivial
+// (no-shortcut) assignment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(1))
+
+	// A 4000-node network of diameter exactly 6 (think "six degrees of
+	// separation").
+	const diameter = 6
+	g, err := repro.ClusterChain(4000, diameter, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %v, diameter %d, kD = %.1f\n", g, diameter, repro.KD(g.NumNodes(), diameter))
+
+	// Carve the nodes into 32 connected parts.
+	parts, err := repro.VoronoiParts(g, 32, rng)
+	if err != nil {
+		return err
+	}
+	p, err := repro.NewPartition(g, parts)
+	if err != nil {
+		return err
+	}
+
+	// Without shortcuts, some part has a large induced diameter.
+	trivial, err := repro.TrivialShortcuts(p).Dilation(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trivial   : %v\n", trivial)
+
+	// With the paper's construction, congestion and dilation are both
+	// ˜O(kD) = ˜O(n^((D-2)/(2D-2))).
+	s, err := repro.BuildShortcuts(g, p, repro.ShortcutOptions{
+		Diameter:  diameter,
+		LogFactor: 0.3,
+		Rng:       rng,
+	})
+	if err != nil {
+		return err
+	}
+	q, err := s.Dilation(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shortcuts : %v  (quality c+d = %d, |H| = %d edges)\n",
+		q, q.Sum(), s.TotalShortcutEdges())
+	return nil
+}

@@ -1,0 +1,136 @@
+package congest
+
+import "repro/internal/graph"
+
+const (
+	kindBcast uint8 = 32 + iota // A = broadcast value
+	kindReach                   // A = part leader, B = reached bit
+)
+
+// broadcastNode floods a value from the root down a known tree.
+type broadcastNode struct {
+	isRoot     bool
+	childPorts []int
+	value      int64
+	got        bool
+}
+
+func (b *broadcastNode) Init(v *View, out *Outbox) {
+	if b.isRoot {
+		b.got = true
+		for _, p := range b.childPorts {
+			out.Send(p, Message{Kind: kindBcast, A: b.value})
+		}
+	}
+}
+
+func (b *broadcastNode) Round(_ int, v *View, in []Inbound, out *Outbox) {
+	for _, m := range in {
+		if m.Msg.Kind != kindBcast || b.got {
+			continue
+		}
+		b.got = true
+		b.value = m.Msg.A
+		for _, p := range b.childPorts {
+			out.Send(p, Message{Kind: kindBcast, A: b.value})
+		}
+	}
+}
+
+func (b *broadcastNode) Done() bool { return true }
+
+// RunTreeBroadcast sends value from the tree root to every tree node in
+// O(depth) rounds and returns the per-node received values (the root's value
+// where reached; 0 where the tree does not reach).
+func RunTreeBroadcast(g *graph.Graph, tree *Tree, value int64, run Runner, maxRounds int) ([]int64, Stats, error) {
+	factory := func(v *View) Program {
+		return &broadcastNode{
+			isRoot:     v.ID() == tree.Root,
+			childPorts: tree.ChildPorts[v.ID()],
+			value:      value,
+		}
+	}
+	stats, progs, err := run(g, factory, maxRounds)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]int64, g.NumNodes())
+	for v, p := range progs {
+		b := p.(*broadcastNode)
+		if b.got {
+			out[v] = b.value
+		}
+	}
+	return out, stats, nil
+}
+
+// RunForestSum convergecasts per-node values up a forest (e.g. the disjoint
+// part trees produced by RunPartBFS) and returns the per-node subtree totals;
+// entry r is the full component total exactly when r is a forest root.
+func RunForestSum(g *graph.Graph, f *Forest, values []int64, run Runner, maxRounds int) ([]int64, Stats, error) {
+	factory := func(v *View) Program {
+		return &aggNode{
+			parentPort: f.ParentPort[v.ID()],
+			childPorts: f.ChildPorts[v.ID()],
+			value:      values[v.ID()],
+		}
+	}
+	stats, progs, err := run(g, factory, maxRounds)
+	if err != nil {
+		return nil, stats, err
+	}
+	totals := make([]int64, g.NumNodes())
+	for v, p := range progs {
+		totals[v] = p.(*aggNode).subtotal
+	}
+	return totals, stats, nil
+}
+
+// reachNode implements the one-round "reached bit" exchange: every node
+// broadcasts its part leader and whether a flood reached it; afterwards each
+// reached node knows whether it borders an unreached node of its own part.
+type reachNode struct {
+	leader  int64
+	reached bool
+	flag    bool
+}
+
+func (r *reachNode) Init(v *View, out *Outbox) {
+	bit := int64(0)
+	if r.reached {
+		bit = 1
+	}
+	out.Broadcast(v, Message{Kind: kindReach, A: r.leader, B: bit})
+}
+
+func (r *reachNode) Round(_ int, v *View, in []Inbound, out *Outbox) {
+	for _, m := range in {
+		if m.Msg.Kind != kindReach {
+			continue
+		}
+		if m.Msg.A == r.leader && m.Msg.B == 0 && r.reached {
+			r.flag = true
+		}
+	}
+}
+
+func (r *reachNode) Done() bool { return true }
+
+// RunReachExchange performs the single-round exchange that lets every
+// reached node discover whether it has an unreached neighbor in its own part
+// (used for the paper's "is the truncated BFS tree spanning Si?" checks).
+// It returns the per-node boundary flags.
+func RunReachExchange(g *graph.Graph, leaderOf []graph.NodeID, reached []bool, run Runner, maxRounds int) ([]bool, Stats, error) {
+	factory := func(v *View) Program {
+		return &reachNode{leader: int64(leaderOf[v.ID()]), reached: reached[v.ID()]}
+	}
+	stats, progs, err := run(g, factory, maxRounds)
+	if err != nil {
+		return nil, stats, err
+	}
+	flags := make([]bool, g.NumNodes())
+	for v, p := range progs {
+		flags[v] = p.(*reachNode).flag
+	}
+	return flags, stats, nil
+}

@@ -1,0 +1,136 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRunTreeBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.ErdosRenyi(50, 0.08, rng)
+	tree, _, err := RunBFS(g, 5, RunSequential, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			vals, stats, err := RunTreeBroadcast(g, tree, 777, r.run, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				if vals[v] != 777 {
+					t.Errorf("node %d got %d, want 777", v, vals[v])
+				}
+			}
+			if stats.Rounds > int(tree.Depth())+2 {
+				t.Errorf("broadcast took %d rounds for depth %d", stats.Rounds, tree.Depth())
+			}
+		})
+	}
+}
+
+func TestRunTreeBroadcastPartialTree(t *testing.T) {
+	// Disconnected graph: nodes outside the tree must stay at 0.
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	// Build the tree over component {0,1} only.
+	leaderOf := []graph.NodeID{0, 0, 2, 2}
+	forest, _, err := RunPartBFS(g, leaderOf, -1, RunSequential, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := &Tree{Root: 0, Dist: forest.Dist, ParentPort: forest.ParentPort, ChildPorts: forest.ChildPorts}
+	vals, _, err := RunTreeBroadcast(g, tree, 9, RunSequential, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 9 || vals[1] != 9 {
+		t.Error("component {0,1} did not receive the value")
+	}
+	// Node 2 is also a "root" in the forest sense but not tree.Root, so it
+	// never initiates; nodes 2,3 stay at zero.
+	if vals[2] != 0 || vals[3] != 0 {
+		t.Errorf("other component received values: %v", vals[2:])
+	}
+}
+
+func TestRunForestSum(t *testing.T) {
+	// Two disjoint segments of a path; each leader collects its own total.
+	g := gen.Path(8)
+	leaderOf := make([]graph.NodeID, 8)
+	for v := 0; v < 4; v++ {
+		leaderOf[v] = 3
+	}
+	for v := 4; v < 8; v++ {
+		leaderOf[v] = 7
+	}
+	forest, _, err := RunPartBFS(g, leaderOf, -1, RunSequential, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]int64, 8)
+	for v := range values {
+		values[v] = int64(v + 1) // 1..8
+	}
+	totals, _, err := RunForestSum(g, forest, values, RunSequential, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals[3] != 1+2+3+4 {
+		t.Errorf("leader 3 total = %d, want 10", totals[3])
+	}
+	if totals[7] != 5+6+7+8 {
+		t.Errorf("leader 7 total = %d, want 26", totals[7])
+	}
+}
+
+func TestRunReachExchange(t *testing.T) {
+	// Path 0-1-2-3-4, all one part; reached = {0,1,2}. Node 2 borders the
+	// unreached node 3 and must flag; 0,1 must not; 3,4 are unreached (their
+	// flag only fires for reached nodes).
+	g := gen.Path(5)
+	leaderOf := []graph.NodeID{4, 4, 4, 4, 4}
+	reached := []bool{true, true, true, false, false}
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			flags, stats, err := RunReachExchange(g, leaderOf, reached, r.run, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []bool{false, false, true, false, false}
+			for v := range want {
+				if flags[v] != want[v] {
+					t.Errorf("flag[%d] = %v, want %v", v, flags[v], want[v])
+				}
+			}
+			if stats.Rounds > 2 {
+				t.Errorf("exchange took %d rounds, want <= 2", stats.Rounds)
+			}
+		})
+	}
+}
+
+func TestRunReachExchangeCrossPartIgnored(t *testing.T) {
+	// Two parts side by side; an unreached node of part B must not flag its
+	// reached neighbor in part A.
+	g := gen.Path(4)
+	leaderOf := []graph.NodeID{1, 1, 3, 3}
+	reached := []bool{true, true, false, false}
+	flags, _, err := RunReachExchange(g, leaderOf, reached, RunSequential, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags[1] {
+		t.Error("node 1 flagged an unreached neighbor of a different part")
+	}
+}

@@ -1,0 +1,142 @@
+// Package congest simulates the CONGEST model of distributed computing
+// [Pel00], the model the paper's algorithms are stated in: the network is an
+// n-node graph with one processor per node; computation proceeds in
+// synchronous rounds; per round, each processor may send one O(log n)-bit
+// message over each of its incident edges.
+//
+// The simulator enforces the bandwidth constraint (at most one Message per
+// directed edge per round; Message payloads are a fixed small number of
+// machine words) and counts the two quantities the paper's theorems bound:
+// rounds and total messages.
+//
+// Two engines execute the same Program semantics: a deterministic sequential
+// lock-step engine (RunSequential, used by benchmarks) and a goroutine-per-
+// node engine with per-round barriers (RunGoroutines, exercising Go's
+// natural fit for round-based message passing). Ablation A3 asserts they
+// produce identical results.
+package congest
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Message is the unit of communication: a kind tag plus three integer words.
+// With IDs and distances bounded by poly(n), this is O(log n) bits, matching
+// the CONGEST bandwidth budget.
+type Message struct {
+	Kind uint8
+	A    int64
+	B    int64
+	C    int64
+}
+
+// Inbound is a message delivered to a node, tagged with the local port it
+// arrived on and the sender's ID.
+type Inbound struct {
+	Port int // local port index at the receiver
+	From graph.NodeID
+	Msg  Message
+}
+
+// View is a node's local view of the network: its own ID and its incident
+// ports. Programs must interact with the topology only through a View — this
+// is what keeps simulated algorithms honest about locality.
+type View struct {
+	g  *graph.Graph
+	id graph.NodeID
+	lo int32
+	n  int64 // number of nodes; CONGEST algorithms commonly assume knowledge of n
+}
+
+// ID returns this node's identifier.
+func (v *View) ID() graph.NodeID { return v.id }
+
+// NumNodes returns n. Knowledge of n (or a polynomial bound on it) is a
+// standard CONGEST assumption used for message encodings.
+func (v *View) NumNodes() int64 { return v.n }
+
+// Degree returns the number of incident edges.
+func (v *View) Degree() int { return v.g.Degree(v.id) }
+
+// Neighbor returns the ID of the neighbor on local port p. Knowing neighbor
+// IDs is the standard KT1 assumption.
+func (v *View) Neighbor(p int) graph.NodeID { return v.g.ArcTarget(v.lo + int32(p)) }
+
+// Edge returns the global undirected EdgeID behind port p. The simulator
+// exposes it for bookkeeping (congestion counters); programs may use it as an
+// opaque port label.
+func (v *View) Edge(p int) graph.EdgeID { return v.g.ArcEdge(v.lo + int32(p)) }
+
+// Outbox stages the messages a node sends during one round. Sending twice on
+// the same port within a round violates the CONGEST bandwidth constraint and
+// causes the engine to abort with ErrBandwidth.
+type Outbox struct {
+	ports []int
+	msgs  []Message
+	used  map[int]struct{}
+	err   error
+}
+
+// ErrBandwidth is reported when a program sends two messages over one edge in
+// a single round.
+var ErrBandwidth = errors.New("congest: two messages on one port in one round")
+
+// Send stages a message on local port p.
+func (o *Outbox) Send(p int, m Message) {
+	if _, dup := o.used[p]; dup {
+		o.err = fmt.Errorf("%w (port %d)", ErrBandwidth, p)
+		return
+	}
+	o.used[p] = struct{}{}
+	o.ports = append(o.ports, p)
+	o.msgs = append(o.msgs, m)
+}
+
+// Broadcast stages the same message on every port of the node.
+func (o *Outbox) Broadcast(v *View, m Message) {
+	for p := 0; p < v.Degree(); p++ {
+		o.Send(p, m)
+	}
+}
+
+func (o *Outbox) reset() {
+	o.ports = o.ports[:0]
+	o.msgs = o.msgs[:0]
+	for k := range o.used {
+		delete(o.used, k)
+	}
+}
+
+// Program is the behavior of one node. The engine calls Init once (round 0,
+// may send), then Round for every subsequent round with that round's
+// deliveries. A run terminates when every program reports Done and no
+// messages are in flight.
+type Program interface {
+	Init(v *View, out *Outbox)
+	Round(round int, v *View, in []Inbound, out *Outbox)
+	Done() bool
+}
+
+// Factory creates the program for one node. It is invoked once per node
+// before the run starts.
+type Factory func(v *View) Program
+
+// Stats aggregates a run's costs.
+type Stats struct {
+	Rounds   int
+	Messages int64
+}
+
+// Add accumulates another phase's stats (used when composing multi-phase
+// algorithms; rounds and messages both add).
+func (s *Stats) Add(other Stats) {
+	s.Rounds += other.Rounds
+	s.Messages += other.Messages
+}
+
+// ErrMaxRounds is returned when a run fails to terminate within the allowed
+// number of rounds.
+var ErrMaxRounds = errors.New("congest: exceeded max rounds")

@@ -1,0 +1,267 @@
+package congest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// delivery is an in-flight message addressed by global arc (sender side).
+type delivery struct {
+	arc int32 // arc at the sender: tail = sender, head = receiver
+	msg Message
+}
+
+// runState is the engine-independent bookkeeping shared by both engines.
+type runState struct {
+	g        *graph.Graph
+	views    []*View
+	programs []Program
+	// inboxes[v] holds this round's deliveries for node v.
+	inboxes [][]Inbound
+	// portOf[a] is the local port index of global arc a at its tail.
+	portOf []int
+	// reverse[a] is the arc in the opposite direction of a.
+	reverse []int32
+	stats   Stats
+}
+
+func newRunState(g *graph.Graph, factory Factory) *runState {
+	n := g.NumNodes()
+	st := &runState{
+		g:        g,
+		views:    make([]*View, n),
+		programs: make([]Program, n),
+		inboxes:  make([][]Inbound, n),
+		portOf:   make([]int, g.NumArcs()),
+		reverse:  make([]int32, g.NumArcs()),
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := g.ArcRange(graph.NodeID(u))
+		for a := lo; a < hi; a++ {
+			st.portOf[a] = int(a - lo)
+		}
+		st.views[u] = &View{g: g, id: graph.NodeID(u), lo: lo, n: int64(n)}
+		st.programs[u] = factory(st.views[u])
+	}
+	// reverse[a]: the arc (v,u) matching arc a=(u,v); both share an EdgeID.
+	for u := 0; u < n; u++ {
+		lo, hi := g.ArcRange(graph.NodeID(u))
+		for a := lo; a < hi; a++ {
+			v := g.ArcTarget(a)
+			e := g.ArcEdge(a)
+			vlo, vhi := g.ArcRange(v)
+			for b := vlo; b < vhi; b++ {
+				if g.ArcEdge(b) == e {
+					st.reverse[a] = b
+					break
+				}
+			}
+		}
+	}
+	return st
+}
+
+// stage converts one node's outbox into deliveries and clears it.
+func (st *runState) stage(u graph.NodeID, out *Outbox, pending *[]delivery) error {
+	if out.err != nil {
+		return out.err
+	}
+	lo, _ := st.g.ArcRange(u)
+	for i, p := range out.ports {
+		if p < 0 || p >= st.g.Degree(u) {
+			return fmt.Errorf("congest: node %d sent on invalid port %d", u, p)
+		}
+		*pending = append(*pending, delivery{arc: lo + int32(p), msg: out.msgs[i]})
+	}
+	st.stats.Messages += int64(len(out.ports))
+	out.reset()
+	return nil
+}
+
+// deliver moves pending deliveries into per-node inboxes for the next round,
+// in deterministic (receiver, sender-port) order.
+func (st *runState) deliver(pending []delivery) {
+	sort.Slice(pending, func(i, j int) bool {
+		ri := st.g.ArcTarget(pending[i].arc)
+		rj := st.g.ArcTarget(pending[j].arc)
+		if ri != rj {
+			return ri < rj
+		}
+		return pending[i].arc < pending[j].arc
+	})
+	for _, d := range pending {
+		recv := st.g.ArcTarget(d.arc)
+		back := st.reverse[d.arc]
+		st.inboxes[recv] = append(st.inboxes[recv], Inbound{
+			Port: st.portOf[back],
+			From: tailOf(st.g, d.arc),
+			Msg:  d.msg,
+		})
+	}
+}
+
+func tailOf(g *graph.Graph, arc int32) graph.NodeID {
+	// The tail is the endpoint of the arc's edge that is not the head, unless
+	// the edge is a self-loop (which Builder forbids).
+	u, v := g.EdgeEndpoints(g.ArcEdge(arc))
+	if g.ArcTarget(arc) == v {
+		return u
+	}
+	return v
+}
+
+func (st *runState) allDone() bool {
+	for _, p := range st.programs {
+		if !p.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunSequential executes the programs in deterministic lock-step on a single
+// goroutine. It returns the run stats and the final per-node programs (so
+// callers can extract each node's local output).
+func RunSequential(g *graph.Graph, factory Factory, maxRounds int) (Stats, []Program, error) {
+	st := newRunState(g, factory)
+	out := &Outbox{used: make(map[int]struct{})}
+	var pending []delivery
+	for u := range st.programs {
+		st.programs[u].Init(st.views[u], out)
+		if err := st.stage(graph.NodeID(u), out, &pending); err != nil {
+			return st.stats, st.programs, err
+		}
+	}
+	for round := 1; ; round++ {
+		if len(pending) == 0 && st.allDone() {
+			st.stats.Rounds = round - 1
+			return st.stats, st.programs, nil
+		}
+		if round > maxRounds {
+			return st.stats, st.programs, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
+		}
+		st.deliver(pending)
+		pending = pending[:0]
+		for u := range st.programs {
+			in := st.inboxes[u]
+			if len(in) == 0 && st.programs[u].Done() {
+				continue
+			}
+			st.programs[u].Round(round, st.views[u], in, out)
+			st.inboxes[u] = st.inboxes[u][:0]
+			if err := st.stage(graph.NodeID(u), out, &pending); err != nil {
+				return st.stats, st.programs, err
+			}
+		}
+	}
+}
+
+// RunGoroutines executes the programs with one goroutine per node and a
+// barrier between rounds, demonstrating the natural goroutine/channel fit
+// for round-based message passing. Semantics are identical to RunSequential
+// for programs that are deterministic functions of their inputs.
+func RunGoroutines(g *graph.Graph, factory Factory, maxRounds int) (Stats, []Program, error) {
+	st := newRunState(g, factory)
+	n := g.NumNodes()
+
+	type nodeResult struct {
+		u   graph.NodeID
+		out []delivery
+		err error
+	}
+
+	// Per-node worker goroutines live for the whole run; the coordinator
+	// wakes them each round and collects their outboxes.
+	wake := make([]chan int, n)
+	results := make(chan nodeResult, 1)
+	var wg sync.WaitGroup
+	for u := 0; u < n; u++ {
+		wake[u] = make(chan int, 1)
+		wg.Add(1)
+		go func(u graph.NodeID) {
+			defer wg.Done()
+			out := &Outbox{used: make(map[int]struct{})}
+			lo, _ := g.ArcRange(u)
+			for round := range wake[u] {
+				if round == 0 {
+					st.programs[u].Init(st.views[u], out)
+				} else {
+					st.programs[u].Round(round, st.views[u], st.inboxes[u], out)
+				}
+				res := nodeResult{u: u, err: out.err}
+				for i, p := range out.ports {
+					if p < 0 || p >= g.Degree(u) {
+						res.err = fmt.Errorf("congest: node %d sent on invalid port %d", u, p)
+						break
+					}
+					res.out = append(res.out, delivery{arc: lo + int32(p), msg: out.msgs[i]})
+				}
+				out.reset()
+				results <- res
+			}
+		}(graph.NodeID(u))
+	}
+	stopWorkers := func() {
+		for _, c := range wake {
+			close(c)
+		}
+		wg.Wait()
+	}
+
+	runRound := func(round int, active []graph.NodeID) ([]delivery, error) {
+		var pending []delivery
+		var firstErr error
+		for _, u := range active {
+			wake[u] <- round
+		}
+		for range active {
+			res := <-results
+			if res.err != nil && firstErr == nil {
+				firstErr = res.err
+			}
+			st.stats.Messages += int64(len(res.out))
+			pending = append(pending, res.out...)
+		}
+		return pending, firstErr
+	}
+
+	all := make([]graph.NodeID, n)
+	for u := range all {
+		all[u] = graph.NodeID(u)
+	}
+	pending, err := runRound(0, all)
+	if err != nil {
+		stopWorkers()
+		return st.stats, st.programs, err
+	}
+	for round := 1; ; round++ {
+		if len(pending) == 0 && st.allDone() {
+			st.stats.Rounds = round - 1
+			stopWorkers()
+			return st.stats, st.programs, nil
+		}
+		if round > maxRounds {
+			stopWorkers()
+			return st.stats, st.programs, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
+		}
+		st.deliver(pending)
+		// Only nodes with deliveries or unfinished programs take a step.
+		active := all[:0:0]
+		for u := 0; u < n; u++ {
+			if len(st.inboxes[u]) > 0 || !st.programs[u].Done() {
+				active = append(active, graph.NodeID(u))
+			}
+		}
+		pending, err = runRound(round, active)
+		for _, u := range active {
+			st.inboxes[u] = st.inboxes[u][:0]
+		}
+		if err != nil {
+			stopWorkers()
+			return st.stats, st.programs, err
+		}
+	}
+}

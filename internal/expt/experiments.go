@@ -1,0 +1,397 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/shortcut"
+)
+
+// Config parameterizes the experiment sweeps. Zero values select the
+// defaults used for the recorded EXPERIMENTS.md runs; Quick selects reduced
+// sweeps suitable for benchmarks and CI.
+type Config struct {
+	// Sizes is the n sweep for quality experiments.
+	Sizes []int
+	// DistSizes is the (smaller) n sweep for fully-simulated experiments.
+	DistSizes []int
+	// Diameters is the D sweep.
+	Diameters []int
+	// Seed seeds all randomness (every experiment derives sub-seeds).
+	Seed int64
+	// LogFactor scales the sampling probability's log n term. The paper's
+	// constant (1.0) saturates p at the n reachable on one machine for
+	// D ≥ 5 (see EXPERIMENTS.md §Methodology); the default 0.3 keeps the
+	// asymptotic shape visible.
+	LogFactor float64
+	// Quick reduces sweeps for benchmark iterations.
+	Quick bool
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.LogFactor == 0 {
+		c.LogFactor = 0.3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Sizes) == 0 {
+		if c.Quick {
+			c.Sizes = []int{1000, 2000}
+		} else {
+			c.Sizes = []int{1000, 2000, 4000, 8000, 16000}
+		}
+	}
+	if len(c.DistSizes) == 0 {
+		if c.Quick {
+			c.DistSizes = []int{600}
+		} else {
+			c.DistSizes = []int{500, 1000, 2000, 4000}
+		}
+	}
+	if len(c.Diameters) == 0 {
+		if c.Quick {
+			c.Diameters = []int{4}
+		} else {
+			c.Diameters = []int{3, 4, 5, 6, 8}
+		}
+	}
+	return c
+}
+
+func (c Config) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + salt))
+}
+
+// hardCase builds a hard instance and its path partition.
+func hardCase(n, d int, rng *rand.Rand) (*gen.HardInstance, *shortcut.Partition, error) {
+	hi, err := gen.NewHardInstance(n, d, 0, 0, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := shortcut.NewPartition(hi.G, hi.Paths)
+	if err != nil {
+		return nil, nil, err
+	}
+	return hi, p, nil
+}
+
+// exactCutoff bounds the per-part exact dilation computation.
+const exactCutoff = 3000
+
+// E1Quality measures shortcut quality c+d against the theoretical kD curve
+// across n and D on hard instances (Theorem 1.1 / figure quality-vs-n).
+func E1Quality(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("E1: shortcut quality vs n (hard instances, paths partition)",
+		"D", "n", "kD", "congestion", "dilation", "c+d", "(c+d)/kD", "sqrt(n)")
+	type pt struct{ n, q float64 }
+	series := make(map[int][]pt)
+	for _, d := range cfg.Diameters {
+		for _, n := range cfg.Sizes {
+			rng := cfg.rng(int64(d*1_000_000 + n))
+			hi, p, err := hardCase(n, d, rng)
+			if err != nil {
+				return nil, fmt.Errorf("E1 D=%d n=%d: %w", d, n, err)
+			}
+			s, err := shortcut.Build(hi.G, p, shortcut.Options{
+				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E1 D=%d n=%d: %w", d, n, err)
+			}
+			q, err := s.Dilation(exactCutoff)
+			if err != nil {
+				return nil, fmt.Errorf("E1 D=%d n=%d: %w", d, n, err)
+			}
+			nn := float64(hi.G.NumNodes())
+			t.AddRow(I(d), I(hi.G.NumNodes()), F(s.Params.KD), I(q.Congestion),
+				I(int(q.DilationHi)), I(q.Sum()), F(float64(q.Sum())/s.Params.KD), F(math.Sqrt(nn)))
+			series[d] = append(series[d], pt{n: nn, q: float64(q.Sum())})
+		}
+	}
+	for _, d := range cfg.Diameters {
+		xs := make([]float64, 0, len(series[d]))
+		ys := make([]float64, 0, len(series[d]))
+		for _, p := range series[d] {
+			xs = append(xs, p.n)
+			ys = append(ys, p.q)
+		}
+		want := float64(d-2) / float64(2*d-2)
+		t.AddNote("D=%d: measured log-log slope %.3f vs theory exponent (D-2)/(2D-2) = %.3f",
+			d, Slope(xs, ys), want)
+	}
+	return t, nil
+}
+
+// E2Rounds measures the simulated round count of the fully distributed
+// construction against kD (Theorem 1.1's round bound).
+func E2Rounds(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("E2: distributed construction rounds vs n",
+		"D", "n", "kD", "rounds", "rounds/kD", "guesses", "messages")
+	for _, d := range cfg.Diameters {
+		for _, n := range cfg.DistSizes {
+			rng := cfg.rng(int64(2_000_000_000 + d*1_000_000 + n))
+			hi, p, err := hardCase(n, d, rng)
+			if err != nil {
+				return nil, fmt.Errorf("E2 D=%d n=%d: %w", d, n, err)
+			}
+			res, err := shortcut.BuildDistributed(hi.G, p, shortcut.DistOptions{
+				Rng: rng, LogFactor: cfg.LogFactor, KnownDiameter: d,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E2 D=%d n=%d: %w", d, n, err)
+			}
+			kd := res.S.Params.KD
+			t.AddRow(I(d), I(hi.G.NumNodes()), F(kd), I(res.Rounds),
+				F(float64(res.Rounds)/kd), I(res.Guesses), fmt.Sprintf("%d", res.Messages))
+		}
+	}
+	t.AddNote("rounds include every simulated phase (election, classification, numbering, scheduled BFS, verification)")
+	return t, nil
+}
+
+// E3Congestion compares the realized max/99th-percentile edge congestion to
+// the Chernoff bound O(Reps·kD·log n) (Section 2's congestion argument).
+func E3Congestion(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("E3: edge congestion vs Chernoff bound",
+		"D", "n", "kD", "p", "max-congestion", "p99", "bound 2·Reps·kD·lf·ln n", "max/bound")
+	for _, d := range cfg.Diameters {
+		for _, n := range cfg.Sizes {
+			rng := cfg.rng(int64(3_000_000_000 + d*1_000_000 + n))
+			hi, p, err := hardCase(n, d, rng)
+			if err != nil {
+				return nil, fmt.Errorf("E3 D=%d n=%d: %w", d, n, err)
+			}
+			s, err := shortcut.Build(hi.G, p, shortcut.Options{
+				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E3 D=%d n=%d: %w", d, n, err)
+			}
+			hist := s.CongestionProfile()
+			maxC := len(hist) - 1
+			total := 0
+			for _, h := range hist {
+				total += h
+			}
+			p99 := 0
+			run := 0
+			for c, h := range hist {
+				run += h
+				if float64(run) >= 0.99*float64(total) {
+					p99 = c
+					break
+				}
+			}
+			nn := float64(hi.G.NumNodes())
+			bound := 2 * float64(s.Params.Reps) * s.Params.KD * cfg.LogFactor * math.Log(nn)
+			t.AddRow(I(d), I(hi.G.NumNodes()), F(s.Params.KD), F(s.Params.P),
+				I(maxC), I(p99), F(bound), F(float64(maxC)/bound))
+		}
+	}
+	return t, nil
+}
+
+// E4Dilation isolates the dilation term against the O(kD·log n) bound
+// (Theorem 3.1).
+func E4Dilation(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("E4: dilation vs O(kD log n) (Theorem 3.1)",
+		"D", "n", "kD", "trivial-dilation", "dilation", "kD*log2(n)", "dil/(kD log n)")
+	for _, d := range cfg.Diameters {
+		for _, n := range cfg.Sizes {
+			rng := cfg.rng(int64(4_000_000_000 + d*1_000_000 + n))
+			hi, p, err := hardCase(n, d, rng)
+			if err != nil {
+				return nil, fmt.Errorf("E4 D=%d n=%d: %w", d, n, err)
+			}
+			trivial := int(p.MaxPartDiameter())
+			s, err := shortcut.Build(hi.G, p, shortcut.Options{
+				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E4 D=%d n=%d: %w", d, n, err)
+			}
+			q, err := s.Dilation(exactCutoff)
+			if err != nil {
+				return nil, fmt.Errorf("E4 D=%d n=%d: %w", d, n, err)
+			}
+			nn := float64(hi.G.NumNodes())
+			ref := s.Params.KD * math.Log2(nn)
+			t.AddRow(I(d), I(hi.G.NumNodes()), F(s.Params.KD), I(trivial),
+				I(int(q.DilationHi)), F(ref), F(float64(q.DilationHi)/ref))
+		}
+	}
+	return t, nil
+}
+
+// E5Baselines compares our quality with the GH16 O(D+√n) baseline and the
+// trivial construction across n, including log-log slopes (the crossover
+// figure: exponent (D-2)/(2D-2) < 1/2 for every constant D).
+func E5Baselines(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("E5: ours vs GH16 (O(D+sqrt n)) vs trivial",
+		"D", "n", "ours c+d", "GH16 c+d", "trivial c+d", "ours/GH16")
+	var ourXs, ourYs, ghXs, ghYs []float64
+	for _, d := range cfg.Diameters {
+		for _, n := range cfg.Sizes {
+			rng := cfg.rng(int64(5_000_000_000 + d*1_000_000 + n))
+			hi, p, err := hardCase(n, d, rng)
+			if err != nil {
+				return nil, fmt.Errorf("E5 D=%d n=%d: %w", d, n, err)
+			}
+			ours, err := shortcut.Build(hi.G, p, shortcut.Options{
+				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E5 D=%d n=%d: %w", d, n, err)
+			}
+			oursQ, err := ours.Dilation(exactCutoff)
+			if err != nil {
+				return nil, err
+			}
+			gh := shortcut.GhaffariHaeupler(p, 0)
+			ghQ, err := gh.Dilation(exactCutoff)
+			if err != nil {
+				return nil, err
+			}
+			trivial := shortcut.Trivial(p)
+			trQ, err := trivial.Dilation(exactCutoff)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(I(d), I(hi.G.NumNodes()), I(oursQ.Sum()), I(ghQ.Sum()), I(trQ.Sum()),
+				F(float64(oursQ.Sum())/float64(ghQ.Sum())))
+			nn := float64(hi.G.NumNodes())
+			ourXs = append(ourXs, nn)
+			ourYs = append(ourYs, float64(oursQ.Sum()))
+			ghXs = append(ghXs, nn)
+			ghYs = append(ghYs, float64(ghQ.Sum()))
+		}
+	}
+	t.AddNote("pooled log-log slopes: ours %.3f, GH16 %.3f (theory: <1/2 vs 1/2)",
+		Slope(ourXs, ourYs), Slope(ghXs, ghYs))
+	return t, nil
+}
+
+// E9OddEven verifies that the odd-diameter handling (Section 3.2) matches the
+// even-diameter quality regime at comparable n.
+func E9OddEven(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("E9: odd vs even diameter handling",
+		"D", "parity", "n", "kD", "c+d", "(c+d)/kD")
+	ds := []int{3, 4, 5, 6, 7, 8}
+	if cfg.Quick {
+		ds = []int{3, 4, 5}
+	}
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	if cfg.Quick {
+		n = cfg.Sizes[0]
+	}
+	for _, d := range ds {
+		rng := cfg.rng(int64(9_000_000_000 + d))
+		hi, p, err := hardCase(n, d, rng)
+		if err != nil {
+			return nil, fmt.Errorf("E9 D=%d: %w", d, err)
+		}
+		s, err := shortcut.Build(hi.G, p, shortcut.Options{
+			Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E9 D=%d: %w", d, err)
+		}
+		q, err := s.Dilation(exactCutoff)
+		if err != nil {
+			return nil, err
+		}
+		parity := "even"
+		if d%2 == 1 {
+			parity = "odd"
+		}
+		t.AddRow(I(d), parity, I(hi.G.NumNodes()), F(s.Params.KD), I(q.Sum()),
+			F(float64(q.Sum())/s.Params.KD))
+	}
+	t.AddNote("odd D uses the √p two-coin sampling of Section 3.2 (distribution-equivalent single draw)")
+	return t, nil
+}
+
+// E11Walks tabulates Lemma 3.3's walk lengths level by level on sampled
+// shortcut trees.
+func E11Walks(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("E11: (i,k)-walk lengths in sampled shortcut trees (Lemma 3.3)",
+		"n", "D", "ell", "k", "p", "max walk dist", "bound (4/p)^(k-2)")
+	n := cfg.Sizes[0]
+	d := 4
+	rng := cfg.rng(11_000_000_000)
+	hi, err := gen.NewHardInstance(n, d, 0, 0, rng)
+	if err != nil {
+		return nil, fmt.Errorf("E11: %w", err)
+	}
+	if len(hi.Paths) < 2 {
+		return nil, fmt.Errorf("E11: need two paths")
+	}
+	ell := d
+	aux, err := shortcut.NewAuxGraph(hi.G, hi.Paths[0], hi.Paths[1], ell)
+	if err != nil {
+		return nil, fmt.Errorf("E11: %w", err)
+	}
+	nn := float64(hi.G.NumNodes())
+	p := math.Log(nn) * math.Pow(nn, -1.0/float64(d-1))
+	if p > 1 {
+		p = 1
+	}
+	star := aux.SampleStar(p, rng)
+	for k := 2; k <= ell+1; k++ {
+		dist := star.MaxWalkDist(k)
+		bound := math.Pow(4/p, float64(k-2))
+		t.AddRow(I(hi.G.NumNodes()), I(d), I(ell), I(k), F(p), I(int(dist)), F(bound))
+	}
+	return t, nil
+}
+
+// A1Repetitions is the ablation on the number of independent sampling
+// repetitions (the dilation argument consumes D of them).
+func A1Repetitions(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("A1: sampling repetitions ablation",
+		"D", "n", "reps", "congestion", "dilation", "c+d")
+	d := 6
+	if cfg.Quick {
+		d = 4
+	}
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	if cfg.Quick {
+		n = cfg.Sizes[0]
+	}
+	for _, reps := range []int{1, d / 2, d} {
+		if reps < 1 {
+			reps = 1
+		}
+		rng := cfg.rng(int64(14_000_000_000 + reps))
+		hi, p, err := hardCase(n, d, rng)
+		if err != nil {
+			return nil, fmt.Errorf("A1 reps=%d: %w", reps, err)
+		}
+		s, err := shortcut.Build(hi.G, p, shortcut.Options{
+			Diameter: d, Reps: reps, LogFactor: cfg.LogFactor, Rng: rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("A1 reps=%d: %w", reps, err)
+		}
+		q, err := s.Dilation(exactCutoff)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(I(d), I(hi.G.NumNodes()), I(reps), I(q.Congestion),
+			I(int(q.DilationHi)), I(q.Sum()))
+	}
+	t.AddNote("fewer repetitions lower congestion but the dilation argument only holds with D of them")
+	return t, nil
+}

@@ -1,0 +1,145 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Quick: true, Seed: 7}.WithDefaults()
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "a", "bb")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("hello %d", 5)
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"## demo", "a    bb", "333", "note: hello 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	tbl.CSV(&csv)
+	if !strings.HasPrefix(csv.String(), "a,bb\n1,2\n") {
+		t.Errorf("CSV output: %q", csv.String())
+	}
+}
+
+func TestTableRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row did not panic")
+		}
+	}()
+	NewTable("x", "a").AddRow("1", "2")
+}
+
+func TestSlope(t *testing.T) {
+	// y = x^0.5 exactly.
+	xs := []float64{10, 100, 1000, 10000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Sqrt(x)
+	}
+	if s := Slope(xs, ys); math.Abs(s-0.5) > 1e-9 {
+		t.Errorf("slope = %f, want 0.5", s)
+	}
+	if !math.IsNaN(Slope([]float64{1}, []float64{1})) {
+		t.Error("single point should give NaN")
+	}
+	if !math.IsNaN(Slope([]float64{-1, -2}, []float64{1, 2})) {
+		t.Error("non-positive xs should give NaN")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if F(3) != "3" || F(3.14159) != "3.142" || F(12345.6) != "12345.6" {
+		t.Errorf("F: %s %s %s", F(3), F(3.14159), F(12345.6))
+	}
+	if F(math.NaN()) != "nan" || F(math.Inf(1)) != "inf" {
+		t.Error("special values")
+	}
+	if I(42) != "42" {
+		t.Error("I")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if len(c.Sizes) == 0 || len(c.Diameters) == 0 || c.LogFactor == 0 || c.Seed == 0 {
+		t.Errorf("defaults not filled: %+v", c)
+	}
+	q := Config{Quick: true}.WithDefaults()
+	if len(q.Sizes) >= len(c.Sizes) {
+		t.Error("quick config should be smaller")
+	}
+}
+
+// Each experiment must run end-to-end on the quick config and produce rows.
+func TestExperimentsQuick(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(Config) (*Table, error)
+	}{
+		{"E1", E1Quality},
+		{"E3", E3Congestion},
+		{"E4", E4Dilation},
+		{"E5", E5Baselines},
+		{"E9", E9OddEven},
+		{"E10", E10Scheduler},
+		{"E11", E11Walks},
+		{"E13", E13TwoECSS},
+		{"A1", A1Repetitions},
+		{"A2", A2Scheduling},
+		{"A4", A4Deterministic},
+		{"A5", A5Local},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl, err := tc.run(quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("no rows produced")
+			}
+		})
+	}
+}
+
+// The simulation-heavy experiments get their own (still quick) subtests.
+func TestSimulatedExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := quickCfg()
+	cfg.DistSizes = []int{400}
+	cfg.Diameters = []int{4}
+	cases := []struct {
+		name string
+		run  func(Config) (*Table, error)
+	}{
+		{"E2", E2Rounds},
+		{"E6", E6MST},
+		{"E7", E7MinCut},
+		{"E8", E8Messages},
+		{"E12", E12SSSP},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl, err := tc.run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("no rows produced")
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/shortcut"
+)
+
+// A4Deterministic compares the derandomized construction (the paper's second
+// open end) with the randomized one: identical density, deterministic
+// congestion cap, empirically-evaluated dilation.
+func A4Deterministic(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("A4: deterministic vs randomized construction (open end: derandomization)",
+		"D", "n", "rand c", "rand d", "rand c+d", "det c", "det d", "det c+d")
+	ds := []int{3, 4, 6}
+	if cfg.Quick {
+		ds = []int{4}
+	}
+	for _, d := range ds {
+		for _, n := range cfg.Sizes {
+			rng := cfg.rng(int64(16_000_000_000 + d*1_000_000 + n))
+			hi, p, err := hardCase(n, d, rng)
+			if err != nil {
+				return nil, fmt.Errorf("A4 D=%d n=%d: %w", d, n, err)
+			}
+			ran, err := shortcut.Build(hi.G, p, shortcut.Options{
+				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rq, err := ran.Dilation(exactCutoff)
+			if err != nil {
+				return nil, err
+			}
+			det, err := shortcut.BuildDeterministic(hi.G, p, shortcut.Options{
+				Diameter: d, LogFactor: cfg.LogFactor,
+			})
+			if err != nil {
+				return nil, err
+			}
+			dq, err := det.Dilation(exactCutoff)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(I(d), I(hi.G.NumNodes()),
+				I(rq.Congestion), I(int(rq.DilationHi)), I(rq.Sum()),
+				I(dq.Congestion), I(int(dq.DilationHi)), I(dq.Sum()))
+		}
+	}
+	t.AddNote("the deterministic variant caps per-arc membership structurally; its dilation has no w.h.p. proof (open problem)")
+	return t, nil
+}
+
+// A5Local measures the locality-restricted sampler (the paper's first open
+// end, message complexity): Σ|Hi| — the message driver — against quality.
+func A5Local(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("A5: locality-restricted sampling (open end: message complexity)",
+		"D", "n", "radius", "full Σ|Hi|", "local Σ|Hi|", "saved", "full c+d", "local c+d")
+	d := 6
+	if cfg.Quick {
+		d = 4
+	}
+	for _, n := range cfg.Sizes {
+		rng := cfg.rng(int64(17_000_000_000 + n))
+		hi, p, err := hardCase(n, d, rng)
+		if err != nil {
+			return nil, fmt.Errorf("A5 n=%d: %w", n, err)
+		}
+		full, err := shortcut.Build(hi.G, p, shortcut.Options{
+			Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fq, err := full.Dilation(exactCutoff)
+		if err != nil {
+			return nil, err
+		}
+		radius := (d + 1) / 2
+		local, err := shortcut.BuildLocal(hi.G, p, shortcut.LocalOptions{
+			Options: shortcut.Options{Diameter: d, LogFactor: cfg.LogFactor, Rng: rng},
+			Radius:  radius,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lq, err := local.Dilation(exactCutoff)
+		if err != nil {
+			return nil, err
+		}
+		fs, ls := full.TotalShortcutEdges(), local.TotalShortcutEdges()
+		saved := 1 - float64(ls)/float64(fs)
+		t.AddRow(I(d), I(hi.G.NumNodes()), I(radius), I(fs), I(ls),
+			F(saved), I(fq.Sum()), I(lq.Sum()))
+	}
+	t.AddNote("restricting sampling to the D/2-hop horizon the dilation argument uses preserves quality while shrinking Σ|Hi|")
+	return t, nil
+}

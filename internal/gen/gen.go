@@ -1,0 +1,140 @@
+// Package gen provides the synthetic graph and partition generators used by
+// the experiments. Two families matter most for the paper's claims:
+//
+//   - ClusterChain(n, D): connected n-vertex graphs with unweighted diameter
+//     exactly D and Θ(n) edges, the "typical constant-diameter network"
+//     workload (stand-in for six-degrees social networks and the D≤19 web
+//     graph the paper's introduction motivates).
+//
+//   - HardInstance(n, D): Elkin/Lotker-style lower-bound-shaped instances —
+//     ℓ vertex-disjoint long paths at the bottom of a (D/2)-layer random
+//     bipartite stack under a single root, so that shortcutting the paths
+//     forces traffic through the sampled inter-layer edges. These drive the
+//     quality experiments (E1, E3–E5, E9).
+//
+// All generators are deterministic given their *rand.Rand.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Path returns the path graph on n ≥ 1 nodes: 0-1-…-(n-1).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		mustAdd(b, int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n ≥ 3 nodes.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		mustAdd(b, int32(i), int32((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Star returns the star on n ≥ 1 nodes with node 0 as the hub.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		mustAdd(b, 0, int32(i))
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n (diameter 1 for n ≥ 2).
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mustAdd(b, int32(i), int32(j))
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols king-free grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(b, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				mustAdd(b, id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random recursive tree on n nodes: node i
+// attaches to a uniform node in [0, i).
+func RandomTree(n int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		mustAdd(b, int32(rng.Intn(i)), int32(i))
+	}
+	return b.Build()
+}
+
+// ErdosRenyi returns a connected G(n, p)-style graph: a random spanning tree
+// is laid down first (guaranteeing connectivity) and every remaining pair is
+// added independently with probability p.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		mustAdd(b, int32(rng.Intn(i)), int32(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !b.HasEdge(int32(i), int32(j)) && rng.Float64() < p {
+				mustAdd(b, int32(i), int32(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Dumbbell returns two cliques of size k joined by a path of `bridge` edges.
+// It is the classic example where a partition into the two cliques needs no
+// shortcuts but a partition into path-crossing parts does.
+func Dumbbell(k, bridge int) *graph.Graph {
+	n := 2*k + bridge - 1
+	b := graph.NewBuilder(n)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			mustAdd(b, int32(i), int32(j))
+		}
+	}
+	right := k + bridge - 1
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			mustAdd(b, int32(right+i), int32(right+j))
+		}
+	}
+	prev := int32(k - 1)
+	for i := 0; i < bridge; i++ {
+		next := int32(k + i)
+		mustAdd(b, prev, next)
+		prev = next
+	}
+	return b.Build()
+}
+
+func mustAdd(b *graph.Builder, u, v int32) {
+	if err := b.AddEdge(u, v); err != nil {
+		// Generators only call mustAdd with structurally valid fresh edges;
+		// a failure is a bug in the generator itself.
+		panic(fmt.Sprintf("gen: internal error adding edge {%d,%d}: %v", u, v, err))
+	}
+}

@@ -1,0 +1,274 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPathCycleStar(t *testing.T) {
+	p := Path(5)
+	if p.NumEdges() != 4 || graph.Diameter(p) != 4 {
+		t.Errorf("path: m=%d diam=%d", p.NumEdges(), graph.Diameter(p))
+	}
+	c := Cycle(6)
+	if c.NumEdges() != 6 || graph.Diameter(c) != 3 {
+		t.Errorf("cycle: m=%d diam=%d", c.NumEdges(), graph.Diameter(c))
+	}
+	s := Star(10)
+	if s.NumEdges() != 9 || graph.Diameter(s) != 2 {
+		t.Errorf("star: m=%d diam=%d", s.NumEdges(), graph.Diameter(s))
+	}
+}
+
+func TestComplete(t *testing.T) {
+	k := Complete(6)
+	if k.NumEdges() != 15 {
+		t.Errorf("K6 edges = %d, want 15", k.NumEdges())
+	}
+	if graph.Diameter(k) != 1 {
+		t.Errorf("K6 diameter = %d, want 1", graph.Diameter(k))
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumNodes() != 12 {
+		t.Errorf("grid nodes = %d, want 12", g.NumNodes())
+	}
+	// 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 edges.
+	if g.NumEdges() != 17 {
+		t.Errorf("grid edges = %d, want 17", g.NumEdges())
+	}
+	if d := graph.Diameter(g); d != 5 {
+		t.Errorf("grid diameter = %d, want 5", d)
+	}
+}
+
+func TestRandomTreeConnectedAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(50) + 2
+		g := RandomTree(n, rng)
+		if !graph.IsConnected(g) {
+			t.Fatal("random tree disconnected")
+		}
+		if g.NumEdges() != n-1 {
+			t.Fatalf("random tree edges = %d, want %d", g.NumEdges(), n-1)
+		}
+	}
+}
+
+func TestErdosRenyiConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := ErdosRenyi(60, 0.05, rng)
+	if !graph.IsConnected(g) {
+		t.Error("ER graph should be connected (spanning tree backbone)")
+	}
+	if g.NumEdges() < 59 {
+		t.Errorf("ER graph edges = %d, want >= 59", g.NumEdges())
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	g := Dumbbell(5, 4)
+	if !graph.IsConnected(g) {
+		t.Fatal("dumbbell disconnected")
+	}
+	// Diameter: clique hop (1) + bridge (4) + clique hop (1) = 6.
+	if d := graph.Diameter(g); d != 6 {
+		t.Errorf("dumbbell diameter = %d, want 6", d)
+	}
+}
+
+func TestClusterChainDiameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{1, 2, 3, 4, 5, 6, 8} {
+		g, err := ClusterChain(400, d, rng)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("D=%d: disconnected", d)
+		}
+		if got := int(graph.Diameter(g)); got != d {
+			t.Errorf("D=%d: diameter = %d", d, got)
+		}
+		if !ClusterChainDiameterHolds(g, d) {
+			t.Errorf("D=%d: ClusterChainDiameterHolds = false on a correct graph", d)
+		}
+	}
+}
+
+func TestClusterChainSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := ClusterChain(10000, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() > 3*g.NumNodes() {
+		t.Errorf("cluster chain too dense: m=%d for n=%d", g.NumEdges(), g.NumNodes())
+	}
+}
+
+func TestClusterChainErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := ClusterChain(100, 0, rng); err == nil {
+		t.Error("D=0 accepted")
+	}
+	if _, err := ClusterChain(3, 10, rng); err == nil {
+		t.Error("n too small accepted")
+	}
+}
+
+func TestKD(t *testing.T) {
+	// D=3: exponent 1/4; D=4: 1/3; D→∞: → 1/2.
+	if got := KD(10000, 3); got < 9.9 || got > 10.1 {
+		t.Errorf("KD(10000,3) = %v, want ~10", got)
+	}
+	if got := KD(2, 2); got != 1 {
+		t.Errorf("KD(·,2) = %v, want 1", got)
+	}
+	if KD(10000, 4) <= KD(10000, 3) {
+		t.Error("kD must increase with D")
+	}
+	if KD(10000, 20) >= 100 {
+		t.Error("kD must stay below sqrt(n)")
+	}
+}
+
+func TestHardInstanceStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, d := range []int{3, 4, 5, 6, 7, 8} {
+		hi, err := NewHardInstance(3000, d, 0, 0, rng)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		g := hi.G
+		if !graph.IsConnected(g) {
+			t.Fatalf("D=%d: disconnected", d)
+		}
+		if len(hi.Paths) == 0 {
+			t.Fatalf("D=%d: no paths", d)
+		}
+		// Paths must be vertex-disjoint and connected.
+		seen := graph.NewBitset(g.NumNodes())
+		for _, p := range hi.Paths {
+			if len(p) != hi.PathLen {
+				t.Fatalf("D=%d: path length %d, want %d", d, len(p), hi.PathLen)
+			}
+			for _, v := range p {
+				if seen.Has(v) {
+					t.Fatalf("D=%d: node %d on two paths", d, v)
+				}
+				seen.Set(v)
+			}
+			if !graph.IsNodeSetConnected(g, p) {
+				t.Fatalf("D=%d: path not connected in induced subgraph", d)
+			}
+		}
+		// Diameter within [something, D]: upper bound must be respected.
+		lo, _ := graph.DiameterBounds(g)
+		if int(lo) > d {
+			t.Errorf("D=%d: diameter lower bound %d exceeds target", d, lo)
+		}
+		// Exact check on moderate n is affordable here.
+		if exact := int(graph.Diameter(g)); exact != d {
+			t.Errorf("D=%d: exact diameter = %d", d, exact)
+		}
+		// Paths must be "large" parts: longer than kD.
+		if float64(hi.PathLen) <= KD(g.NumNodes(), d) {
+			t.Errorf("D=%d: path length %d not > kD=%v", d, hi.PathLen, KD(g.NumNodes(), d))
+		}
+	}
+}
+
+func TestHardInstanceErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := NewHardInstance(1000, 2, 0, 0, rng); err == nil {
+		t.Error("D=2 accepted")
+	}
+	if _, err := NewHardInstance(10, 8, 0, 0, rng); err == nil {
+		t.Error("tiny n accepted")
+	}
+}
+
+func TestVoronoiParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := ErdosRenyi(200, 0.03, rng)
+	parts, err := VoronoiParts(g, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 8 {
+		t.Fatalf("parts = %d, want 8", len(parts))
+	}
+	seen := graph.NewBitset(g.NumNodes())
+	total := 0
+	for i, p := range parts {
+		if len(p) == 0 {
+			t.Fatalf("part %d empty", i)
+		}
+		total += len(p)
+		for _, v := range p {
+			if seen.Has(v) {
+				t.Fatalf("node %d in two parts", v)
+			}
+			seen.Set(v)
+		}
+		if !graph.IsNodeSetConnected(g, p) {
+			t.Fatalf("part %d not connected", i)
+		}
+	}
+	if total != g.NumNodes() {
+		t.Errorf("parts cover %d of %d nodes", total, g.NumNodes())
+	}
+}
+
+func TestVoronoiPartsClampsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := Path(5)
+	parts, err := VoronoiParts(g, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 5 {
+		t.Errorf("parts = %d, want 5 (clamped)", len(parts))
+	}
+}
+
+func TestVoronoiPartsDisconnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	// With a single seed, the other component is unreachable and the
+	// generator must refuse. (With k ≥ 2 seeds may land in both components,
+	// which yields a legitimate partition.)
+	if _, err := VoronoiParts(b.Build(), 1, rng); err == nil {
+		t.Error("disconnected graph with unreachable nodes accepted")
+	}
+}
+
+func TestPathSegments(t *testing.T) {
+	parts := PathSegments(10, 4)
+	if len(parts) != 3 {
+		t.Fatalf("segments = %d, want 3", len(parts))
+	}
+	if len(parts[0]) != 4 || len(parts[2]) != 2 {
+		t.Errorf("segment sizes = %d,%d,%d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+}
+
+func TestLargestParts(t *testing.T) {
+	parts := [][]graph.NodeID{{0}, {1, 2, 3}, {4, 5}}
+	out := LargestParts(parts, 2)
+	if len(out) != 2 || len(out[0]) != 3 || len(out[1]) != 2 {
+		t.Errorf("LargestParts = %v", out)
+	}
+}

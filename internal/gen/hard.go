@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// HardInstance is an Elkin/Lotker-style lower-bound-shaped graph: ℓ
+// vertex-disjoint long paths at the bottom of a stack of sparse random
+// bipartite layers capped by a root (even D) or a pair of linked roots
+// (odd D). The graph has diameter exactly D, yet the induced subgraph of
+// each path has diameter |path|-1, so shortcutting the paths forces routes
+// through the inter-layer edges — the structure the paper's dilation
+// argument (shortcut trees) is designed for.
+//
+// This family is our synthetic substitute for Elkin's lower-bound graph G*
+// (see DESIGN.md, substitutions): the exact lower-bound construction is an
+// existence argument, while experiments need a parameterized generator whose
+// partition into paths exhibits the same tension between congestion and
+// dilation.
+type HardInstance struct {
+	G *graph.Graph
+	// Paths lists the ℓ vertex-disjoint bottom paths; each is a connected
+	// part for the shortcut partition.
+	Paths [][]graph.NodeID
+	// Diameter is the target (and verified-by-tests) diameter D.
+	Diameter int
+	// PathLen is the number of nodes on each bottom path.
+	PathLen int
+}
+
+// KD returns the paper's exponent value kD = n^((D-2)/(2D-2)) for an n-vertex
+// diameter-D graph. For D ≤ 2 it returns 1 (the exponent is ≤ 0).
+func KD(n, d int) float64 {
+	if d <= 2 {
+		return 1
+	}
+	exp := float64(d-2) / float64(2*d-2)
+	return math.Pow(float64(n), exp)
+}
+
+// NewHardInstance builds a hard instance on approximately n vertices with
+// diameter d ≥ 3. Each bottom path has ⌈pathFactor·√(n/2)⌉ nodes
+// (pathFactor ≤ 0 selects 1.0) — the √n-length paths of the lower-bound
+// constructions, which make every path a "large" part (|Si| > kD) whose
+// trivial dilation Θ(√n) genuinely requires shortcutting. attach is the
+// number of upward attachments per node (attach ≤ 0 selects 2).
+func NewHardInstance(n, d int, pathFactor float64, attach int, rng *rand.Rand) (*HardInstance, error) {
+	if d < 3 {
+		return nil, fmt.Errorf("hard instance: diameter %d < 3", d)
+	}
+	if pathFactor <= 0 {
+		pathFactor = 1
+	}
+	if attach <= 0 {
+		attach = 2
+	}
+	kd := KD(n, d)
+	pathLen := int(math.Ceil(pathFactor * math.Sqrt(float64(n)/2)))
+	if pathLen <= int(kd) {
+		pathLen = int(kd) + 1 // keep paths "large" even at tiny n / large D
+	}
+	if pathLen < 2 {
+		pathLen = 2
+	}
+
+	// Stack shape: even D uses one stack of height h = D/2 - 1 and one root;
+	// odd D uses two stacks of height h = (D-3)/2 with adjacent roots.
+	twoStacks := d%2 == 1
+	var height int
+	if twoStacks {
+		height = (d - 3) / 2
+	} else {
+		height = d/2 - 1
+	}
+	numStacks := 1
+	if twoStacks {
+		numStacks = 2
+	}
+
+	// Vertex budget: when there are middle layers, half the nodes go to the
+	// bottom paths and half to the stacks; with no middle layers (D ∈ {3,4})
+	// everything except the roots is bottom.
+	nBottom := n / 2
+	if height == 0 {
+		nBottom = n - numStacks
+	}
+	numPaths := nBottom / pathLen
+	if numPaths < 1 {
+		numPaths = 1
+		pathLen = nBottom
+		if pathLen < 2 {
+			return nil, fmt.Errorf("hard instance: n=%d too small for D=%d", n, d)
+		}
+	}
+	nBottom = numPaths * pathLen
+	nUpper := n - nBottom
+	numRoots := numStacks
+	layerNodes := nUpper - numRoots
+	totalLayers := height * numStacks
+	layerSize := 0
+	if totalLayers > 0 {
+		layerSize = layerNodes / totalLayers
+		if layerSize < attach+1 {
+			return nil, fmt.Errorf("hard instance: n=%d too small for D=%d (layer size %d)", n, d, layerSize)
+		}
+	}
+
+	totalNodes := nBottom + numRoots + layerSize*totalLayers
+	b := graph.NewBuilder(totalNodes)
+
+	// Bottom paths occupy [0, nBottom).
+	paths := make([][]graph.NodeID, numPaths)
+	for i := 0; i < numPaths; i++ {
+		p := make([]graph.NodeID, pathLen)
+		base := i * pathLen
+		for j := 0; j < pathLen; j++ {
+			p[j] = graph.NodeID(base + j)
+			if j > 0 {
+				mustAdd(b, p[j-1], p[j])
+			}
+		}
+		paths[i] = p
+	}
+
+	// Layer node IDs: stack s, level ℓ ∈ [0, height) occupies a contiguous
+	// block after the bottom nodes. Roots come last.
+	layerStart := func(stack, level int) int {
+		return nBottom + (stack*height+level)*layerSize
+	}
+	roots := make([]graph.NodeID, numRoots)
+	for s := 0; s < numRoots; s++ {
+		roots[s] = graph.NodeID(nBottom + layerSize*totalLayers + s)
+	}
+	if twoStacks {
+		mustAdd(b, roots[0], roots[1])
+	}
+
+	pick := func(start int) graph.NodeID {
+		return graph.NodeID(start + rng.Intn(layerSize))
+	}
+
+	// Upward wiring. Bottom node of path i goes to stack (i mod numStacks).
+	for i, p := range paths {
+		stack := i % numStacks
+		for _, u := range p {
+			if height == 0 {
+				b.TryAddEdge(u, roots[stack])
+				continue
+			}
+			for t := 0; t < attach; t++ {
+				b.TryAddEdge(u, pick(layerStart(stack, 0)))
+			}
+		}
+	}
+	for s := 0; s < numStacks; s++ {
+		for lvl := 0; lvl < height; lvl++ {
+			start := layerStart(s, lvl)
+			for off := 0; off < layerSize; off++ {
+				u := graph.NodeID(start + off)
+				if lvl+1 < height {
+					for t := 0; t < attach; t++ {
+						b.TryAddEdge(u, pick(layerStart(s, lvl+1)))
+					}
+				} else {
+					b.TryAddEdge(u, roots[s])
+				}
+			}
+		}
+	}
+
+	return &HardInstance{
+		G:        b.Build(),
+		Paths:    paths,
+		Diameter: d,
+		PathLen:  pathLen,
+	}, nil
+}

@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// VoronoiParts partitions the nodes of a connected graph into k connected
+// parts by growing balls from k random seeds simultaneously (multi-source
+// BFS); every node joins the cell of its BFS parent, which keeps each cell
+// connected. Parts are returned as node lists; empty cells never occur since
+// each seed owns itself. If k exceeds n, k is clamped to n.
+func VoronoiParts(g *graph.Graph, k int, rng *rand.Rand) ([][]graph.NodeID, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("voronoi parts: empty graph")
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("voronoi parts: k=%d < 1", k)
+	}
+	seeds := rng.Perm(n)[:k]
+	srcs := make([]graph.NodeID, k)
+	cell := make([]int32, n)
+	for i := range cell {
+		cell[i] = -1
+	}
+	for i, s := range seeds {
+		srcs[i] = graph.NodeID(s)
+		cell[s] = int32(i)
+	}
+	res := graph.MultiSourceBFS(g, srcs)
+	if len(res.Reached) != n {
+		return nil, fmt.Errorf("voronoi parts: graph is not connected")
+	}
+	// Reached is in visit order, so parents are labeled before children.
+	for _, v := range res.Reached {
+		if cell[v] == -1 {
+			cell[v] = cell[res.Parent[v]]
+		}
+	}
+	parts := make([][]graph.NodeID, k)
+	for v := 0; v < n; v++ {
+		c := cell[v]
+		parts[c] = append(parts[c], graph.NodeID(v))
+	}
+	return parts, nil
+}
+
+// PathSegments partitions the path graph 0-1-…-(n-1) into consecutive
+// segments of the given length (the last segment may be shorter). It is a
+// convenience for tests and examples that want maximally-stretched parts.
+func PathSegments(n, segLen int) [][]graph.NodeID {
+	if segLen < 1 {
+		segLen = 1
+	}
+	var parts [][]graph.NodeID
+	for base := 0; base < n; base += segLen {
+		end := base + segLen
+		if end > n {
+			end = n
+		}
+		seg := make([]graph.NodeID, 0, end-base)
+		for v := base; v < end; v++ {
+			seg = append(seg, graph.NodeID(v))
+		}
+		parts = append(parts, seg)
+	}
+	return parts
+}
+
+// LargestParts returns the idx'th..end parts of the input sorted by
+// decreasing size, keeping only parts with at least minSize nodes.
+func LargestParts(parts [][]graph.NodeID, minSize int) [][]graph.NodeID {
+	sorted := make([][]graph.NodeID, len(parts))
+	copy(sorted, parts)
+	sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) > len(sorted[j]) })
+	var out [][]graph.NodeID
+	for _, p := range sorted {
+		if len(p) >= minSize {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers, used
+// throughout the repository for node sets and edge sets keyed by NodeID or
+// EdgeID. The zero value is an empty set of capacity zero.
+type Bitset struct {
+	words []uint64
+	size  int
+}
+
+// NewBitset returns an empty Bitset able to hold values in [0, size).
+func NewBitset(size int) *Bitset {
+	return &Bitset{words: make([]uint64, (size+63)/64), size: size}
+}
+
+// Size returns the capacity the set was created with.
+func (b *Bitset) Size() int { return b.size }
+
+// Set inserts i into the set.
+func (b *Bitset) Set(i int32) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int32) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether i is in the set.
+func (b *Bitset) Has(i int32) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Reset removes all elements while retaining capacity.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Union inserts every element of other into b. Both sets must have the same
+// capacity.
+func (b *Bitset) Union(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), size: b.size}
+	copy(c.words, b.words)
+	return c
+}
+
+// ForEach invokes fn for every element of the set in increasing order.
+func (b *Bitset) ForEach(fn func(i int32)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(int32(wi*64 + bit))
+			w &= w - 1
+		}
+	}
+}

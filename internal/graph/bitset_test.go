@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Count() != 0 {
+		t.Errorf("new bitset Count = %d, want 0", b.Count())
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Has(0) || !b.Has(64) || !b.Has(129) {
+		t.Error("Set/Has mismatch")
+	}
+	if b.Has(1) || b.Has(63) || b.Has(128) {
+		t.Error("Has reports absent elements")
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count = %d, want 3", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) || b.Count() != 2 {
+		t.Error("Clear failed")
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestBitsetForEachOrder(t *testing.T) {
+	b := NewBitset(200)
+	want := []int32{3, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int32
+	b.ForEach(func(i int32) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach yielded %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("element %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitsetUnionClone(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	c := a.Clone()
+	c.Union(b)
+	if c.Count() != 3 || !c.Has(1) || !c.Has(50) || !c.Has(99) {
+		t.Error("Union result wrong")
+	}
+	if a.Count() != 2 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestBitsetMatchesMapModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(300) + 1
+		b := NewBitset(size)
+		model := make(map[int32]bool)
+		for op := 0; op < 200; op++ {
+			i := int32(rng.Intn(size))
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				model[i] = true
+			} else {
+				b.Clear(i)
+				delete(model, i)
+			}
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		for i := int32(0); int(i) < size; i++ {
+			if b.Has(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package graph
+
+import "testing"
+
+func TestConnectedComponents(t *testing.T) {
+	g := mustBuild(t, 7, [][2]NodeID{{0, 1}, {1, 2}, {3, 4}, {5, 6}})
+	labels, k := ConnectedComponents(g)
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	same := func(a, b NodeID) bool { return labels[a] == labels[b] }
+	if !same(0, 2) || !same(3, 4) || !same(5, 6) {
+		t.Error("nodes in the same component got different labels")
+	}
+	if same(0, 3) || same(3, 5) {
+		t.Error("nodes in different components got the same label")
+	}
+}
+
+func TestConnectedComponentsSingletons(t *testing.T) {
+	g := NewBuilder(5).Build()
+	_, k := ConnectedComponents(g)
+	if k != 5 {
+		t.Errorf("components = %d, want 5", k)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	conn := mustBuild(t, 4, pathEdges(4))
+	if !IsConnected(conn) {
+		t.Error("path should be connected")
+	}
+	disc := mustBuild(t, 4, [][2]NodeID{{0, 1}})
+	if IsConnected(disc) {
+		t.Error("graph with isolated nodes should not be connected")
+	}
+}
+
+func TestIsNodeSetConnected(t *testing.T) {
+	g := mustBuild(t, 6, pathEdges(6))
+	if !IsNodeSetConnected(g, []NodeID{1, 2, 3}) {
+		t.Error("contiguous path segment should be connected")
+	}
+	if IsNodeSetConnected(g, []NodeID{0, 2}) {
+		t.Error("{0,2} is not connected in the induced subgraph")
+	}
+	if !IsNodeSetConnected(g, nil) {
+		t.Error("empty set should be connected by convention")
+	}
+	if !IsNodeSetConnected(g, []NodeID{4}) {
+		t.Error("singleton should be connected")
+	}
+}
+
+func TestDiameterPathAndCycle(t *testing.T) {
+	path := mustBuild(t, 9, pathEdges(9))
+	if d := Diameter(path); d != 8 {
+		t.Errorf("path diameter = %d, want 8", d)
+	}
+	cyc := NewBuilder(8)
+	for i := 0; i < 8; i++ {
+		if err := cyc.AddEdge(NodeID(i), NodeID((i+1)%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := cyc.Build()
+	if d := Diameter(g); d != 4 {
+		t.Errorf("8-cycle diameter = %d, want 4", d)
+	}
+}
+
+func TestDiameterBounds(t *testing.T) {
+	g := mustBuild(t, 12, pathEdges(12))
+	lo, hi := DiameterBounds(g)
+	exact := Diameter(g)
+	if lo > exact || hi < exact {
+		t.Errorf("bounds [%d,%d] exclude exact diameter %d", lo, hi, exact)
+	}
+	// Double sweep is exact on paths.
+	if lo != exact {
+		t.Errorf("double-sweep lo = %d, want %d on a path", lo, exact)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := mustBuild(t, 5, pathEdges(5))
+	if ecc := Eccentricity(g, 2); ecc != 2 {
+		t.Errorf("Eccentricity(center) = %d, want 2", ecc)
+	}
+	if ecc := Eccentricity(g, 0); ecc != 4 {
+		t.Errorf("Eccentricity(end) = %d, want 4", ecc)
+	}
+}

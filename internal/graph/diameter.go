@@ -1,0 +1,42 @@
+package graph
+
+// Eccentricity returns the largest hop distance from u to any node reachable
+// from u.
+func Eccentricity(g *Graph, u NodeID) int32 {
+	return BFS(g, u).MaxDist()
+}
+
+// Diameter computes the exact unweighted diameter by running a BFS from
+// every node. The graph must be connected; disconnected graphs yield the
+// largest eccentricity within u's component over all u, which callers should
+// treat as undefined. Cost is O(n·(n+m)).
+func Diameter(g *Graph) int32 {
+	var diam int32
+	for u := 0; u < g.NumNodes(); u++ {
+		if ecc := Eccentricity(g, NodeID(u)); ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// DiameterBounds computes certified lower and upper bounds on the diameter
+// using the double-sweep heuristic: lo is the largest eccentricity found by
+// two BFS sweeps (a true lower bound), hi is twice the final eccentricity
+// (a true upper bound, since ecc(u) ≤ diam ≤ 2·ecc(u) in connected graphs).
+// It costs two BFS runs.
+func DiameterBounds(g *Graph) (lo, hi int32) {
+	if g.NumNodes() == 0 {
+		return 0, 0
+	}
+	first := BFS(g, 0)
+	far := NodeID(0)
+	for _, v := range first.Reached {
+		if first.Dist[v] > first.Dist[far] {
+			far = v
+		}
+	}
+	second := BFS(g, far)
+	ecc := second.MaxDist()
+	return ecc, 2 * ecc
+}

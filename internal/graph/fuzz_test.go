@@ -1,0 +1,74 @@
+package graph
+
+import "testing"
+
+// FuzzBuilder feeds arbitrary edge bytes into the Builder and checks the
+// structural invariants of whatever graph results: degree sum = 2m, arc/edge
+// cross-references consistent, and BFS never exceeding n nodes.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0})
+	f.Add([]byte{5, 5, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 16
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(data); i += 2 {
+			u := NodeID(data[i] % n)
+			v := NodeID(data[i+1] % n)
+			b.TryAddEdge(u, v)
+		}
+		g := b.Build()
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.Degree(NodeID(u))
+		}
+		if sum != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2m %d", sum, 2*g.NumEdges())
+		}
+		for u := NodeID(0); int(u) < n; u++ {
+			g.Arcs(u, func(a int32, v NodeID, e EdgeID) bool {
+				x, y := g.EdgeEndpoints(e)
+				if !((x == u && y == v) || (x == v && y == u)) {
+					t.Fatalf("arc %d cross-reference broken", a)
+				}
+				if u == v {
+					t.Fatal("self-loop survived")
+				}
+				return true
+			})
+		}
+		res := BFS(g, 0)
+		if len(res.Reached) > n {
+			t.Fatalf("BFS reached %d > n", len(res.Reached))
+		}
+	})
+}
+
+// FuzzBitset cross-checks Bitset against a map model under arbitrary
+// operation sequences.
+func FuzzBitset(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 130, 131})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const size = 200
+		b := NewBitset(size)
+		model := make(map[int32]bool)
+		for i, op := range data {
+			x := int32(op) % size
+			if i%2 == 0 {
+				b.Set(x)
+				model[x] = true
+			} else {
+				b.Clear(x)
+				delete(model, x)
+			}
+		}
+		if b.Count() != len(model) {
+			t.Fatalf("count %d != model %d", b.Count(), len(model))
+		}
+		b.ForEach(func(x int32) {
+			if !model[x] {
+				t.Fatalf("ForEach yielded absent element %d", x)
+			}
+		})
+	})
+}

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustBuild(t *testing.T, n int, edges [][2]NodeID) *Graph {
+	t.Helper()
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func pathEdges(n int) [][2]NodeID {
+	edges := make([][2]NodeID, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]NodeID{NodeID(i), NodeID(i + 1)})
+	}
+	return edges
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := mustBuild(t, 4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if g.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.NumArcs() != 8 {
+		t.Errorf("NumArcs = %d, want 8", g.NumArcs())
+	}
+	for u := NodeID(0); u < 4; u++ {
+		if d := g.Degree(u); d != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", u, d)
+		}
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(1, 1); err == nil {
+		t.Error("AddEdge(1,1) succeeded, want self-loop error")
+	}
+}
+
+func TestBuilderRejectsDuplicate(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatalf("first AddEdge: %v", err)
+	}
+	if err := b.AddEdge(1, 0); err == nil {
+		t.Error("AddEdge(1,0) after (0,1) succeeded, want duplicate error")
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 3); err == nil {
+		t.Error("AddEdge(0,3) on n=3 succeeded, want range error")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Error("AddEdge(-1,0) succeeded, want range error")
+	}
+}
+
+func TestTryAddEdge(t *testing.T) {
+	b := NewBuilder(3)
+	if !b.TryAddEdge(0, 1) {
+		t.Error("TryAddEdge(0,1) = false, want true")
+	}
+	if b.TryAddEdge(0, 1) {
+		t.Error("duplicate TryAddEdge(0,1) = true, want false")
+	}
+	if b.TryAddEdge(2, 2) {
+		t.Error("TryAddEdge(2,2) = true, want false")
+	}
+}
+
+func TestEdgeIDsDeterministic(t *testing.T) {
+	// Two builders with the same edges in different insertion orders must
+	// produce identical edge IDs.
+	edges := [][2]NodeID{{0, 1}, {1, 2}, {0, 2}, {2, 3}}
+	g1 := mustBuild(t, 4, edges)
+	rev := make([][2]NodeID, len(edges))
+	for i, e := range edges {
+		rev[len(edges)-1-i] = e
+	}
+	g2 := mustBuild(t, 4, rev)
+	for e := 0; e < g1.NumEdges(); e++ {
+		u1, v1 := g1.EdgeEndpoints(EdgeID(e))
+		u2, v2 := g2.EdgeEndpoints(EdgeID(e))
+		if u1 != u2 || v1 != v2 {
+			t.Errorf("edge %d: (%d,%d) vs (%d,%d)", e, u1, v1, u2, v2)
+		}
+	}
+}
+
+func TestArcEdgeConsistency(t *testing.T) {
+	g := mustBuild(t, 5, [][2]NodeID{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		g.Arcs(u, func(a int32, v NodeID, e EdgeID) bool {
+			x, y := g.EdgeEndpoints(e)
+			if !((x == u && y == v) || (x == v && y == u)) {
+				t.Errorf("arc %d (%d->%d): edge %d has endpoints (%d,%d)", a, u, v, e, x, y)
+			}
+			if g.ArcTarget(a) != v {
+				t.Errorf("ArcTarget(%d) = %d, want %d", a, g.ArcTarget(a), v)
+			}
+			return true
+		})
+	}
+}
+
+func TestFindEdge(t *testing.T) {
+	g := mustBuild(t, 4, [][2]NodeID{{0, 1}, {2, 3}})
+	if _, ok := g.FindEdge(0, 1); !ok {
+		t.Error("FindEdge(0,1) not found")
+	}
+	if _, ok := g.FindEdge(1, 0); !ok {
+		t.Error("FindEdge(1,0) not found")
+	}
+	if _, ok := g.FindEdge(0, 2); ok {
+		t.Error("FindEdge(0,2) found, want absent")
+	}
+	if !g.HasEdge(2, 3) || g.HasEdge(1, 2) {
+		t.Error("HasEdge disagrees with edge list")
+	}
+}
+
+func TestDegreeSumEqualsTwiceEdges(t *testing.T) {
+	check := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(n)
+		attempts := int(mRaw) + 1
+		for i := 0; i < attempts; i++ {
+			b.TryAddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.Degree(NodeID(u))
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty graph: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !IsConnected(g) {
+		t.Error("empty graph should be connected by convention")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := mustBuild(t, 3, [][2]NodeID{{0, 1}})
+	if got, want := g.String(), "graph(n=3, m=1)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,125 @@
+package graph
+
+// AugmentedView is a read-only view of the subgraph G[S] ∪ H where S is a
+// node set and H is a set of extra undirected edges of G (by EdgeID). This is
+// exactly the augmented subgraph whose diameter the shortcut dilation bound
+// talks about: an arc (u, v) is usable if both endpoints are in S, or if its
+// undirected edge is in H.
+//
+// Nodes of the view are: every node of S, plus every endpoint of an edge of
+// H. Views share the parent graph's storage and are cheap to create relative
+// to copying the subgraph.
+type AugmentedView struct {
+	g     *Graph
+	inS   *Bitset // node membership in S
+	inH   *Bitset // edge membership in H
+	nodes []NodeID
+}
+
+// NewAugmentedView builds the view of G[S] ∪ H. The caller retains ownership
+// of the inputs; they are copied into internal bitsets.
+func NewAugmentedView(g *Graph, s []NodeID, h []EdgeID) *AugmentedView {
+	v := &AugmentedView{
+		g:   g,
+		inS: NewBitset(g.NumNodes()),
+		inH: NewBitset(g.NumEdges()),
+	}
+	inView := NewBitset(g.NumNodes())
+	for _, u := range s {
+		v.inS.Set(u)
+		inView.Set(u)
+	}
+	for _, e := range h {
+		v.inH.Set(e)
+		a, b := g.EdgeEndpoints(e)
+		inView.Set(a)
+		inView.Set(b)
+	}
+	v.nodes = make([]NodeID, 0, inView.Count())
+	inView.ForEach(func(i int32) { v.nodes = append(v.nodes, i) })
+	return v
+}
+
+// Graph returns the parent graph.
+func (v *AugmentedView) Graph() *Graph { return v.g }
+
+// Nodes returns the nodes of the view (S plus endpoints of H) in increasing
+// order. Callers must not modify the returned slice.
+func (v *AugmentedView) Nodes() []NodeID { return v.nodes }
+
+// HasNode reports whether u belongs to the view.
+func (v *AugmentedView) HasNode(u NodeID) bool {
+	return v.inS.Has(u) || v.touchesH(u)
+}
+
+func (v *AugmentedView) touchesH(u NodeID) bool {
+	lo, hi := v.g.ArcRange(u)
+	for a := lo; a < hi; a++ {
+		if v.inH.Has(v.g.ArcEdge(a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// UsableArc reports whether the directed arc (u, v) with edge e may be
+// traversed inside the view.
+func (v *AugmentedView) UsableArc(u, w NodeID, e EdgeID) bool {
+	if v.inH.Has(e) {
+		return true
+	}
+	return v.inS.Has(u) && v.inS.Has(w)
+}
+
+// Filter returns an ArcFilter admitting exactly the view's usable arcs.
+func (v *AugmentedView) Filter() ArcFilter {
+	return func(_ int32, u, w NodeID, e EdgeID) bool {
+		return v.UsableArc(u, w, e)
+	}
+}
+
+// BFS runs a breadth-first search inside the view from src. src must be a
+// node of the view.
+func (v *AugmentedView) BFS(src NodeID) *BFSResult {
+	return FilteredBFS(v.g, src, -1, v.Filter())
+}
+
+// DiameterAmong returns the largest pairwise hop distance *between nodes of
+// the set interest* inside the view, running one BFS per interest node.
+// It returns -1 if some pair of interest nodes is disconnected in the view.
+// This is the exact dilation of the augmented subgraph with respect to S.
+func (v *AugmentedView) DiameterAmong(interest []NodeID) int32 {
+	var diam int32
+	for _, s := range interest {
+		res := v.BFS(s)
+		for _, t := range interest {
+			d := res.Dist[t]
+			if d == Unreached {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// EccentricityAmong returns the largest hop distance from src to any node of
+// interest inside the view, or -1 if some interest node is unreachable.
+// In a connected view, the true diameter among interest nodes lies in
+// [ecc, 2·ecc].
+func (v *AugmentedView) EccentricityAmong(src NodeID, interest []NodeID) int32 {
+	res := v.BFS(src)
+	var ecc int32
+	for _, t := range interest {
+		d := res.Dist[t]
+		if d == Unreached {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}

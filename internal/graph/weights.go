@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Weights assigns a weight to every undirected edge of a graph, indexed by
+// EdgeID. Weights are carried separately from Graph so that the same topology
+// can be reused under many weightings (as the MST and min-cut experiments
+// do).
+type Weights []float64
+
+// NewUniformWeights draws independent weights uniformly from (0, 1] for a
+// graph with m edges, using rng. Weights are strictly positive so that MST
+// uniqueness holds almost surely.
+func NewUniformWeights(m int, rng *rand.Rand) Weights {
+	w := make(Weights, m)
+	for i := range w {
+		w[i] = 1 - rng.Float64() // in (0, 1]
+	}
+	return w
+}
+
+// NewUnitWeights returns all-ones weights for a graph with m edges.
+func NewUnitWeights(m int) Weights {
+	w := make(Weights, m)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Total returns the sum of the weights of the given edge set.
+func (w Weights) Total(edges []EdgeID) float64 {
+	var sum float64
+	for _, e := range edges {
+		sum += w[e]
+	}
+	return sum
+}
+
+// Validate checks that the weighting matches graph g (length m) and every
+// weight is finite and positive.
+func (w Weights) Validate(g *Graph) error {
+	if len(w) != g.NumEdges() {
+		return fmt.Errorf("weights: have %d entries, graph has %d edges", len(w), g.NumEdges())
+	}
+	for e, x := range w {
+		if !(x > 0) { // also catches NaN
+			return fmt.Errorf("weights: edge %d has non-positive weight %v", e, x)
+		}
+	}
+	return nil
+}

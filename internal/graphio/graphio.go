@@ -1,0 +1,192 @@
+// Package graphio serializes graphs, weights and partitions in a simple
+// line-oriented text format, so that experiment inputs can be exchanged with
+// other tools and failing instances can be checked in as regression fixtures.
+//
+// Format (whitespace-separated, '#' comments):
+//
+//	graph <n> <m>
+//	e <u> <v> [weight]        # m edge lines, in any order
+//	part <k>                  # optional partition block
+//	p <node> <node> ...       # k part lines
+//
+// Weights are optional but must be all-present or all-absent.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteGraph serializes g (and optionally weights w, which may be nil) to w.
+func WriteGraph(out io.Writer, g *graph.Graph, weights graph.Weights) error {
+	if weights != nil {
+		if err := weights.Validate(g); err != nil {
+			return fmt.Errorf("graphio: %w", err)
+		}
+	}
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "graph %d %d\n", g.NumNodes(), g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.EdgeEndpoints(graph.EdgeID(e))
+		if weights != nil {
+			fmt.Fprintf(bw, "e %d %d %g\n", u, v, weights[e])
+		} else {
+			fmt.Fprintf(bw, "e %d %d\n", u, v)
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePartition appends a partition block for the given parts.
+func WritePartition(out io.Writer, parts [][]graph.NodeID) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "part %d\n", len(parts))
+	for _, p := range parts {
+		bw.WriteString("p")
+		for _, v := range p {
+			fmt.Fprintf(bw, " %d", v)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Document is the result of reading a serialized instance.
+type Document struct {
+	G *graph.Graph
+	// Weights is nil when the file carried no weights.
+	Weights graph.Weights
+	// Parts is nil when the file carried no partition block.
+	Parts [][]graph.NodeID
+}
+
+// Read parses a document written by WriteGraph (+ optionally
+// WritePartition).
+func Read(in io.Reader) (*Document, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var (
+		b          *graph.Builder
+		weights    []float64
+		pairs      [][2]graph.NodeID
+		haveWeight bool
+		sawEdges   int
+		wantEdges  int
+		parts      [][]graph.NodeID
+		wantParts  int
+		lineNo     int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "graph":
+			if b != nil {
+				return nil, fmt.Errorf("graphio: line %d: duplicate graph header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graphio: line %d: want 'graph n m'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: n: %w", lineNo, err)
+			}
+			m, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: m: %w", lineNo, err)
+			}
+			b = graph.NewBuilder(n)
+			wantEdges = m
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graphio: line %d: edge before graph header", lineNo)
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("graphio: line %d: want 'e u v [w]'", lineNo)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: u: %w", lineNo, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: v: %w", lineNo, err)
+			}
+			if err := b.AddEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+			}
+			if len(fields) == 4 {
+				w, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graphio: line %d: weight: %w", lineNo, err)
+				}
+				weights = append(weights, w)
+				pairs = append(pairs, [2]graph.NodeID{graph.NodeID(u), graph.NodeID(v)})
+				haveWeight = true
+			} else if haveWeight {
+				return nil, fmt.Errorf("graphio: line %d: missing weight (file mixes weighted and unweighted edges)", lineNo)
+			}
+			sawEdges++
+		case "part":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graphio: line %d: want 'part k'", lineNo)
+			}
+			k, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: k: %w", lineNo, err)
+			}
+			wantParts = k
+		case "p":
+			part := make([]graph.NodeID, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("graphio: line %d: node: %w", lineNo, err)
+				}
+				part = append(part, graph.NodeID(v))
+			}
+			parts = append(parts, part)
+		default:
+			return nil, fmt.Errorf("graphio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graphio: no graph header")
+	}
+	if sawEdges != wantEdges {
+		return nil, fmt.Errorf("graphio: header promised %d edges, file has %d", wantEdges, sawEdges)
+	}
+	if wantParts != len(parts) {
+		return nil, fmt.Errorf("graphio: header promised %d parts, file has %d", wantParts, len(parts))
+	}
+	doc := &Document{G: b.Build()}
+	if haveWeight {
+		if len(weights) != sawEdges {
+			return nil, fmt.Errorf("graphio: %d of %d edges weighted", len(weights), sawEdges)
+		}
+		// Build assigns canonical EdgeIDs in sorted order; map each input
+		// pair to its final ID.
+		doc.Weights = make(graph.Weights, doc.G.NumEdges())
+		for i, uv := range pairs {
+			e, ok := doc.G.FindEdge(uv[0], uv[1])
+			if !ok {
+				return nil, fmt.Errorf("graphio: internal: edge {%d,%d} lost in build", uv[0], uv[1])
+			}
+			doc.Weights[e] = weights[i]
+		}
+	}
+	doc.Parts = parts
+	return doc, nil
+}

@@ -1,0 +1,134 @@
+package graphio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRoundTripUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.ErdosRenyi(40, 0.1, rng)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.G.NumNodes() != g.NumNodes() || doc.G.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %v vs %v", doc.G, g)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.EdgeEndpoints(graph.EdgeID(e))
+		if !doc.G.HasEdge(u, v) {
+			t.Errorf("edge {%d,%d} lost", u, v)
+		}
+	}
+	if doc.Weights != nil {
+		t.Error("unweighted file produced weights")
+	}
+}
+
+func TestRoundTripWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.ErdosRenyi(30, 0.15, rng)
+	w := graph.NewUniformWeights(g.NumEdges(), rng)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g, w); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Weights == nil {
+		t.Fatal("weights lost")
+	}
+	// Edge IDs are canonical (sorted) in both graphs, so weights must match
+	// positionally.
+	for e := 0; e < g.NumEdges(); e++ {
+		if doc.Weights[e] != w[e] {
+			t.Errorf("weight[%d] = %v, want %v", e, doc.Weights[e], w[e])
+		}
+	}
+}
+
+func TestRoundTripPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.ErdosRenyi(40, 0.1, rng)
+	parts, err := gen.VoronoiParts(g, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePartition(&buf, parts); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Parts) != len(parts) {
+		t.Fatalf("parts = %d, want %d", len(doc.Parts), len(parts))
+	}
+	for i := range parts {
+		if len(doc.Parts[i]) != len(parts[i]) {
+			t.Errorf("part %d size %d, want %d", i, len(doc.Parts[i]), len(parts[i]))
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"no header", "e 0 1\n"},
+		{"double header", "graph 2 0\ngraph 2 0\n"},
+		{"bad n", "graph x 0\n"},
+		{"edge count mismatch", "graph 3 2\ne 0 1\n"},
+		{"self loop", "graph 2 1\ne 1 1\n"},
+		{"duplicate edge", "graph 2 2\ne 0 1\ne 1 0\n"},
+		{"out of range", "graph 2 1\ne 0 5\n"},
+		{"mixed weights", "graph 3 2\ne 0 1 2.5\ne 1 2\n"},
+		{"part count mismatch", "graph 2 1\ne 0 1\npart 2\np 0\n"},
+		{"unknown directive", "graph 2 1\ne 0 1\nq foo\n"},
+		{"bad weight", "graph 2 1\ne 0 1 zebra\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.input)); err == nil {
+				t.Errorf("input %q accepted", tc.input)
+			}
+		})
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	input := "# a comment\n\ngraph 3 2\n# another\ne 0 1\n\ne 1 2\n"
+	doc, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.G.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", doc.G.NumEdges())
+	}
+}
+
+func TestWriteGraphValidatesWeights(t *testing.T) {
+	g := gen.Path(3)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g, graph.Weights{1}); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+}

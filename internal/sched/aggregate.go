@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// AggValue is the payload aggregated by ParallelMinAggregate: a comparable
+// (Weight, Edge) pair representing a candidate minimum-weight outgoing edge.
+// Ties break toward the smaller EdgeID, making aggregation deterministic.
+// Encoded as two machine words it respects the O(log n)-bit message budget
+// (weights are transmitted as fixed-precision values in real deployments).
+type AggValue struct {
+	Weight float64
+	Edge   graph.EdgeID
+	Valid  bool
+}
+
+// Better reports whether a beats b under (weight, edge) lexicographic order.
+// An invalid value loses to any valid one.
+func (a AggValue) Better(b AggValue) bool {
+	if !a.Valid {
+		return false
+	}
+	if !b.Valid {
+		return true
+	}
+	if a.Weight != b.Weight {
+		return a.Weight < b.Weight
+	}
+	return a.Edge < b.Edge
+}
+
+// AggTask is one convergecast-plus-broadcast over a rooted tree embedded in
+// the shared network. Tree topology comes from a prior ParallelBFS outcome.
+type AggTask struct {
+	Root graph.NodeID
+	// Parent maps each non-root tree node to its tree parent.
+	Parent map[graph.NodeID]graph.NodeID
+	// Children maps each tree node to its tree children.
+	Children map[graph.NodeID][]graph.NodeID
+	// Local is each participating node's initial candidate value.
+	Local map[graph.NodeID]AggValue
+}
+
+type aggToken struct {
+	task int32
+	kind uint8 // 0 = up (convergecast), 1 = down (broadcast result)
+	val  AggValue
+	from graph.NodeID
+}
+
+// ParallelMinAggregate runs all tasks' min-convergecasts and result
+// broadcasts concurrently under the shared one-token-per-arc-per-round
+// constraint, returning the per-task global minimum (as known at the root
+// and broadcast to every participant).
+func ParallelMinAggregate(g *graph.Graph, tasks []AggTask, opts Options) ([]AggValue, Stats, error) {
+	if opts.MaxDelay > 0 && opts.Rng == nil {
+		return nil, Stats{}, fmt.Errorf("sched: MaxDelay %d requires Rng", opts.MaxDelay)
+	}
+	type nodeState struct {
+		waiting int
+		acc     AggValue
+	}
+	states := make([]map[graph.NodeID]*nodeState, len(tasks))
+	results := make([]AggValue, len(tasks))
+
+	qs := newQueues[aggToken](g.NumArcs())
+	var stats Stats
+
+	arcTo := func(u, v graph.NodeID) (int32, error) {
+		lo, hi := g.ArcRange(u)
+		for a := lo; a < hi; a++ {
+			if g.ArcTarget(a) == v {
+				return a, nil
+			}
+		}
+		return 0, fmt.Errorf("sched: no arc %d->%d (tree edge outside graph)", u, v)
+	}
+
+	var firstErr error
+	sendUp := func(ti int32, u graph.NodeID) {
+		t := &tasks[ti]
+		st := states[ti][u]
+		if p, ok := t.Parent[u]; ok {
+			a, err := arcTo(u, p)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			qs.push(a, aggToken{task: ti, kind: 0, val: st.acc, from: u})
+			return
+		}
+		// Root: convergecast complete; broadcast the winner down.
+		results[ti] = st.acc
+		for _, c := range t.Children[u] {
+			a, err := arcTo(u, c)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			qs.push(a, aggToken{task: ti, kind: 1, val: st.acc, from: u})
+		}
+	}
+
+	// Initialize: leaves fire immediately (time-based synchronization — after
+	// the BFS phase, every node knows the phase deadline and hence whether it
+	// has children).
+	starts := make(map[int][]int32)
+	lastStart := 0
+	for i := range tasks {
+		delay := 0
+		if opts.MaxDelay > 0 {
+			delay = opts.Rng.Intn(opts.MaxDelay + 1)
+		}
+		starts[delay] = append(starts[delay], int32(i))
+		if delay > lastStart {
+			lastStart = delay
+		}
+	}
+
+	startTask := func(ti int32) {
+		t := &tasks[ti]
+		states[ti] = make(map[graph.NodeID]*nodeState, len(t.Local))
+		members := make([]graph.NodeID, 0, len(t.Local))
+		for u := range t.Local {
+			members = append(members, u)
+		}
+		// Deterministic iteration order.
+		sortNodeIDs(members)
+		for _, u := range members {
+			states[ti][u] = &nodeState{waiting: len(t.Children[u]), acc: t.Local[u]}
+		}
+		for _, u := range members {
+			if states[ti][u].waiting == 0 {
+				sendUp(ti, u)
+			}
+		}
+	}
+
+	deliver := func(arc int32, tk aggToken) {
+		v := g.ArcTarget(arc)
+		st := states[tk.task][v]
+		if st == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sched: task %d token reached non-member node %d", tk.task, v)
+			}
+			return
+		}
+		switch tk.kind {
+		case 0:
+			if tk.val.Better(st.acc) {
+				st.acc = tk.val
+			}
+			st.waiting--
+			if st.waiting == 0 {
+				sendUp(tk.task, v)
+			}
+		case 1:
+			st.acc = tk.val
+			t := &tasks[tk.task]
+			for _, c := range t.Children[v] {
+				a, err := arcTo(v, c)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				qs.push(a, aggToken{task: tk.task, kind: 1, val: tk.val, from: v})
+			}
+		}
+	}
+
+	maxRounds := opts.maxRounds(64*(g.NumNodes()+len(tasks)) + lastStart + 64)
+	round := 0
+	for {
+		if ts, ok := starts[round]; ok {
+			for _, ti := range ts {
+				startTask(ti)
+			}
+			delete(starts, round)
+		}
+		if firstErr != nil {
+			return results, stats, firstErr
+		}
+		if len(qs.active) == 0 && len(starts) == 0 {
+			break
+		}
+		if round >= maxRounds {
+			return results, stats, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
+		}
+		stats.Messages += int64(qs.drainOne(deliver))
+		round++
+	}
+	stats.Rounds = round
+	stats.MaxArcLoad = qs.maxLoad()
+	stats.MaxQueue = qs.maxQ
+	return results, stats, nil
+}
+
+func sortNodeIDs(s []graph.NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

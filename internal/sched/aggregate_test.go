@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestAggregateRejectsPhantomTreeEdge(t *testing.T) {
+	// A task whose Parent map references a non-adjacent "tree edge" must be
+	// rejected: the scheduler only moves tokens over real graph arcs.
+	g := gen.Path(4)
+	task := AggTask{
+		Root:     0,
+		Parent:   map[graph.NodeID]graph.NodeID{3: 0}, // 3 is not adjacent to 0
+		Children: map[graph.NodeID][]graph.NodeID{0: {3}},
+		Local: map[graph.NodeID]AggValue{
+			0: {Weight: 1, Valid: true},
+			3: {Weight: 2, Valid: true},
+		},
+	}
+	_, _, err := ParallelMinAggregate(g, []AggTask{task}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "no arc") {
+		t.Errorf("err = %v, want tree-edge rejection", err)
+	}
+}
+
+func TestAggregateRejectsTokenToNonMember(t *testing.T) {
+	// Child sends to a parent that has no Local entry: non-member error.
+	g := gen.Path(3)
+	task := AggTask{
+		Root:     0,
+		Parent:   map[graph.NodeID]graph.NodeID{1: 0},
+		Children: map[graph.NodeID][]graph.NodeID{},
+		Local: map[graph.NodeID]AggValue{
+			1: {Weight: 2, Valid: true},
+			// node 0 (the parent) deliberately missing
+		},
+	}
+	_, _, err := ParallelMinAggregate(g, []AggTask{task}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "non-member") {
+		t.Errorf("err = %v, want non-member rejection", err)
+	}
+}
+
+func TestAggregateMaxRounds(t *testing.T) {
+	g := gen.Path(6)
+	out, _, err := ParallelBFS(g, []BFSTask{{Root: 0, DepthLimit: -1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[graph.NodeID]AggValue)
+	for v := range out[0].Dist {
+		vals[v] = AggValue{Weight: float64(v), Valid: true}
+	}
+	task := AggTask{Root: 0, Parent: out[0].Parent, Children: out[0].Children, Local: vals}
+	_, _, err = ParallelMinAggregate(g, []AggTask{task}, Options{MaxRounds: 1})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Errorf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestAggregateRequiresRngWithDelay(t *testing.T) {
+	g := gen.Path(3)
+	_, _, err := ParallelMinAggregate(g, nil, Options{MaxDelay: 3})
+	if err == nil {
+		t.Error("MaxDelay without Rng accepted")
+	}
+}
+
+func TestAggregateDeterministicWithSeed(t *testing.T) {
+	g := gen.Star(12)
+	out, _, err := ParallelBFS(g, []BFSTask{{Root: 0, DepthLimit: -1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[graph.NodeID]AggValue)
+	for v := range out[0].Dist {
+		vals[v] = AggValue{Weight: float64(12 - v), Edge: graph.EdgeID(v), Valid: true}
+	}
+	task := AggTask{Root: 0, Parent: out[0].Parent, Children: out[0].Children, Local: vals}
+	r1, s1, err := ParallelMinAggregate(g, []AggTask{task}, Options{MaxDelay: 4, Rng: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := ParallelMinAggregate(g, []AggTask{task}, Options{MaxDelay: 4, Rng: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0] != r2[0] || s1 != s2 {
+		t.Error("seeded runs differ")
+	}
+	if r1[0].Weight != 1 {
+		t.Errorf("min weight = %f, want 1", r1[0].Weight)
+	}
+}

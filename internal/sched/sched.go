@@ -1,0 +1,261 @@
+// Package sched implements the random-delay scheduling of multiple
+// distributed algorithms over a shared network, following Leighton–Maggs–Rao
+// [LMR99] as packaged by Ghaffari [Gha15, Theorem 1.3] and used by the paper
+// as Theorem 2.1: if N sub-algorithms each have dilation ≤ d and the total
+// number of messages that need to cross any edge is ≤ c, then all N can be
+// run together in O(c + d·log n) rounds by delaying each algorithm's start by
+// a random amount and letting edges forward one message per round.
+//
+// The simulation is token-based and CONGEST-honest: every directed edge
+// carries at most one token per round, tokens carry O(log n) bits, and the
+// reported Rounds/Messages are exact counts for the realized schedule. The
+// two instances the repository needs are provided: ParallelBFS (used by the
+// shortcut construction to grow truncated BFS trees in all augmented
+// subgraphs G[Si]∪Hi at once) and ParallelMinAggregate (used by the MST
+// algorithm to convergecast minimum-weight outgoing edges over fragment
+// trees and broadcast the winners back).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ErrMaxRounds is returned when a schedule fails to drain within the round
+// budget.
+var ErrMaxRounds = errors.New("sched: exceeded max rounds")
+
+// Stats aggregates the cost of one scheduled execution.
+type Stats struct {
+	Rounds   int
+	Messages int64
+	// MaxArcLoad is the largest number of tokens that crossed any single
+	// directed edge over the whole execution — the realized congestion c.
+	MaxArcLoad int
+	// MaxQueue is the largest backlog observed on any directed edge.
+	MaxQueue int
+}
+
+// Options configures a scheduled execution.
+type Options struct {
+	// MaxDelay is the window (in rounds) for the uniform random start delay
+	// of each task; 0 disables delays (the ablation A2 baseline).
+	MaxDelay int
+	// MaxRounds bounds the execution; <= 0 selects a generous default.
+	MaxRounds int
+	// Rng supplies the shared randomness for start delays. Must be non-nil
+	// when MaxDelay > 0.
+	Rng *rand.Rand
+}
+
+func (o Options) maxRounds(def int) int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return def
+}
+
+// BFSTask describes one truncated BFS to grow: from Root, over the arcs
+// admitted by Allowed, to depth at most DepthLimit (< 0 for unbounded).
+type BFSTask struct {
+	Root       graph.NodeID
+	Allowed    graph.ArcFilter
+	DepthLimit int32
+}
+
+// BFSOutcome is the per-task result of ParallelBFS. Maps are keyed by node;
+// only visited nodes appear.
+type BFSOutcome struct {
+	Dist   map[graph.NodeID]int32
+	Parent map[graph.NodeID]graph.NodeID
+	// Children lists tree children per node (filled via explicit upward
+	// notification tokens, so the cost of learning them is accounted for).
+	Children map[graph.NodeID][]graph.NodeID
+}
+
+type bfsToken struct {
+	task int32
+	kind uint8 // 0 = visit token carrying dist, 1 = child notification
+	dist int32
+	from graph.NodeID
+}
+
+// queues is a per-arc FIFO with an active-arc worklist, the shared machinery
+// of both scheduled executions.
+type queues[T any] struct {
+	q      [][]T
+	active []int32
+	inList []bool
+	load   []int
+	maxQ   int
+}
+
+func newQueues[T any](numArcs int) *queues[T] {
+	return &queues[T]{
+		q:      make([][]T, numArcs),
+		inList: make([]bool, numArcs),
+		load:   make([]int, numArcs),
+	}
+}
+
+func (qs *queues[T]) push(arc int32, t T) {
+	qs.q[arc] = append(qs.q[arc], t)
+	qs.load[arc]++
+	if len(qs.q[arc]) > qs.maxQ {
+		qs.maxQ = len(qs.q[arc])
+	}
+	if !qs.inList[arc] {
+		qs.inList[arc] = true
+		qs.active = append(qs.active, arc)
+	}
+}
+
+// drainOne pops one token from every active arc, invoking deliver for each.
+// Tokens pushed during delivery are not popped until the next call.
+func (qs *queues[T]) drainOne(deliver func(arc int32, t T)) (delivered int) {
+	arcs := qs.active
+	qs.active = qs.active[len(qs.active):]
+	for _, a := range arcs {
+		qs.inList[a] = false
+	}
+	type pop struct {
+		arc int32
+		t   T
+	}
+	pops := make([]pop, 0, len(arcs))
+	for _, a := range arcs {
+		head := qs.q[a][0]
+		qs.q[a] = qs.q[a][1:]
+		pops = append(pops, pop{arc: a, t: head})
+	}
+	// Re-activate arcs that still hold tokens before deliveries push more.
+	for _, a := range arcs {
+		if len(qs.q[a]) > 0 && !qs.inList[a] {
+			qs.inList[a] = true
+			qs.active = append(qs.active, a)
+		}
+	}
+	for _, p := range pops {
+		deliver(p.arc, p.t)
+	}
+	return len(pops)
+}
+
+func (qs *queues[T]) maxLoad() int {
+	m := 0
+	for _, l := range qs.load {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// ParallelBFS grows all tasks' truncated BFS trees concurrently under
+// random-delay scheduling and returns per-task outcomes plus exact cost
+// accounting.
+func ParallelBFS(g *graph.Graph, tasks []BFSTask, opts Options) ([]*BFSOutcome, Stats, error) {
+	if opts.MaxDelay > 0 && opts.Rng == nil {
+		return nil, Stats{}, fmt.Errorf("sched: MaxDelay %d requires Rng", opts.MaxDelay)
+	}
+	outcomes := make([]*BFSOutcome, len(tasks))
+	starts := make(map[int][]int32) // round -> task indices starting then
+	lastStart := 0
+	for i := range tasks {
+		outcomes[i] = &BFSOutcome{
+			Dist:     make(map[graph.NodeID]int32),
+			Parent:   make(map[graph.NodeID]graph.NodeID),
+			Children: make(map[graph.NodeID][]graph.NodeID),
+		}
+		delay := 0
+		if opts.MaxDelay > 0 {
+			delay = opts.Rng.Intn(opts.MaxDelay + 1)
+		}
+		starts[delay] = append(starts[delay], int32(i))
+		if delay > lastStart {
+			lastStart = delay
+		}
+	}
+
+	qs := newQueues[bfsToken](g.NumArcs())
+	var stats Stats
+	maxRounds := opts.maxRounds(64*(g.NumNodes()+len(tasks)) + lastStart + 64)
+
+	expand := func(task int32, u graph.NodeID, dist int32) {
+		t := &tasks[task]
+		if t.DepthLimit >= 0 && dist >= t.DepthLimit {
+			return
+		}
+		lo, hi := g.ArcRange(u)
+		for a := lo; a < hi; a++ {
+			v := g.ArcTarget(a)
+			e := g.ArcEdge(a)
+			if t.Allowed != nil && !t.Allowed(a, u, v, e) {
+				continue
+			}
+			qs.push(a, bfsToken{task: task, kind: 0, dist: dist, from: u})
+		}
+	}
+
+	deliver := func(arc int32, tk bfsToken) {
+		v := g.ArcTarget(arc)
+		out := outcomes[tk.task]
+		switch tk.kind {
+		case 0:
+			if _, seen := out.Dist[v]; seen {
+				return
+			}
+			out.Dist[v] = tk.dist + 1
+			out.Parent[v] = tk.from
+			// Notify the parent over the reverse direction of this edge; the
+			// notification shares bandwidth with everything else.
+			if back, ok := reverseArc(g, arc); ok {
+				qs.push(back, bfsToken{task: tk.task, kind: 1, from: v})
+			}
+			expand(tk.task, v, tk.dist+1)
+		case 1:
+			out.Children[v] = append(out.Children[v], tk.from)
+		}
+	}
+
+	round := 0
+	for {
+		if ts, ok := starts[round]; ok {
+			for _, ti := range ts {
+				t := &tasks[ti]
+				if _, seen := outcomes[ti].Dist[t.Root]; !seen {
+					outcomes[ti].Dist[t.Root] = 0
+					expand(ti, t.Root, 0)
+				}
+			}
+			delete(starts, round)
+		}
+		if len(qs.active) == 0 && len(starts) == 0 {
+			break
+		}
+		if round >= maxRounds {
+			return outcomes, stats, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
+		}
+		stats.Messages += int64(qs.drainOne(deliver))
+		round++
+	}
+	stats.Rounds = round
+	stats.MaxArcLoad = qs.maxLoad()
+	stats.MaxQueue = qs.maxQ
+	return outcomes, stats, nil
+}
+
+func reverseArc(g *graph.Graph, arc int32) (int32, bool) {
+	e := g.ArcEdge(arc)
+	head := g.ArcTarget(arc)
+	lo, hi := g.ArcRange(head)
+	for b := lo; b < hi; b++ {
+		if g.ArcEdge(b) == e {
+			return b, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,310 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestParallelBFSSingleTaskMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.ErdosRenyi(100, 0.05, rng)
+	want := graph.BFS(g, 7)
+	out, stats, err := ParallelBFS(g, []BFSTask{{Root: 7, DepthLimit: -1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out[0]
+	for v := 0; v < g.NumNodes(); v++ {
+		d, ok := res.Dist[graph.NodeID(v)]
+		if want.Dist[v] == graph.Unreached {
+			if ok {
+				t.Errorf("node %d reached but should not be", v)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("node %d not reached", v)
+			continue
+		}
+		// With a single task and no contention, token BFS is exact BFS.
+		if d != want.Dist[v] {
+			t.Errorf("Dist[%d] = %d, want %d", v, d, want.Dist[v])
+		}
+	}
+	if stats.Messages == 0 || stats.Rounds == 0 {
+		t.Errorf("stats not collected: %+v", stats)
+	}
+}
+
+func TestParallelBFSDepthLimit(t *testing.T) {
+	g := gen.Path(20)
+	out, _, err := ParallelBFS(g, []BFSTask{{Root: 0, DepthLimit: 5}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range out[0].Dist {
+		if d > 5 {
+			t.Errorf("node %d at dist %d beyond limit", v, d)
+		}
+	}
+	if len(out[0].Dist) != 6 {
+		t.Errorf("visited %d nodes, want 6", len(out[0].Dist))
+	}
+}
+
+func TestParallelBFSRespectsFilter(t *testing.T) {
+	// Two tasks on a path; each restricted to its half. No token may visit
+	// the other half.
+	g := gen.Path(10)
+	half := func(loIncl, hiIncl graph.NodeID) graph.ArcFilter {
+		return func(_ int32, u, v graph.NodeID, _ graph.EdgeID) bool {
+			return u >= loIncl && u <= hiIncl && v >= loIncl && v <= hiIncl
+		}
+	}
+	tasks := []BFSTask{
+		{Root: 0, Allowed: half(0, 4), DepthLimit: -1},
+		{Root: 9, Allowed: half(5, 9), DepthLimit: -1},
+	}
+	out, _, err := ParallelBFS(g, tasks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range out[0].Dist {
+		if v > 4 {
+			t.Errorf("task 0 visited %d", v)
+		}
+	}
+	for v := range out[1].Dist {
+		if v < 5 {
+			t.Errorf("task 1 visited %d", v)
+		}
+	}
+	if len(out[0].Dist) != 5 || len(out[1].Dist) != 5 {
+		t.Errorf("coverage: %d and %d nodes", len(out[0].Dist), len(out[1].Dist))
+	}
+}
+
+func TestParallelBFSChildrenConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.ErdosRenyi(60, 0.06, rng)
+	out, _, err := ParallelBFS(g, []BFSTask{{Root: 0, DepthLimit: -1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out[0]
+	// Every non-root visited node appears exactly once as a child of its
+	// parent.
+	childOf := make(map[graph.NodeID]graph.NodeID)
+	for p, kids := range res.Children {
+		for _, c := range kids {
+			if prev, dup := childOf[c]; dup {
+				t.Fatalf("node %d is child of both %d and %d", c, prev, p)
+			}
+			childOf[c] = p
+		}
+	}
+	for v, p := range res.Parent {
+		if childOf[v] != p {
+			t.Errorf("node %d: parent %d but child-link says %d", v, p, childOf[v])
+		}
+	}
+}
+
+func TestParallelBFSManyTasksCongestion(t *testing.T) {
+	// Star graph: k tasks all rooted at leaves must funnel through the hub.
+	// The spokes see load ~k, so rounds must be Ω(k) and O(k + small).
+	g := gen.Star(30)
+	var tasks []BFSTask
+	for i := 1; i <= 10; i++ {
+		tasks = append(tasks, BFSTask{Root: graph.NodeID(i), DepthLimit: -1})
+	}
+	rng := rand.New(rand.NewSource(3))
+	out, stats, err := ParallelBFS(g, tasks, Options{MaxDelay: 10, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out {
+		if len(res.Dist) != g.NumNodes() {
+			t.Errorf("task %d visited %d of %d nodes", i, len(res.Dist), g.NumNodes())
+		}
+	}
+	if stats.MaxArcLoad < len(tasks) {
+		t.Errorf("MaxArcLoad = %d, want >= %d (all tasks cross hub arcs)", stats.MaxArcLoad, len(tasks))
+	}
+	// Rounds should be within a small factor of load + delay window.
+	if stats.Rounds > 4*(stats.MaxArcLoad+10+4) {
+		t.Errorf("rounds = %d far beyond congestion bound (load %d)", stats.Rounds, stats.MaxArcLoad)
+	}
+}
+
+func TestParallelBFSSchedulerBound(t *testing.T) {
+	// E10 shape at test scale: N BFS tasks on a random graph; measured
+	// rounds must be O(c + d·log n) for realized congestion c and dilation d.
+	rng := rand.New(rand.NewSource(4))
+	g := gen.ErdosRenyi(150, 0.04, rng)
+	var tasks []BFSTask
+	for i := 0; i < 12; i++ {
+		tasks = append(tasks, BFSTask{Root: graph.NodeID(rng.Intn(150)), DepthLimit: 6})
+	}
+	out, stats, err := ParallelBFS(g, tasks, Options{MaxDelay: 12, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d int32
+	for _, res := range out {
+		for _, dist := range res.Dist {
+			if dist > d {
+				d = dist
+			}
+		}
+	}
+	logn := math.Log2(float64(g.NumNodes()))
+	bound := float64(stats.MaxArcLoad) + float64(d)*logn
+	if float64(stats.Rounds) > 8*bound+50 {
+		t.Errorf("rounds %d exceed O(c + d log n) = %f", stats.Rounds, bound)
+	}
+}
+
+func TestParallelBFSErrors(t *testing.T) {
+	g := gen.Path(4)
+	if _, _, err := ParallelBFS(g, []BFSTask{{Root: 0, DepthLimit: -1}}, Options{MaxDelay: 5}); err == nil {
+		t.Error("MaxDelay without Rng accepted")
+	}
+	_, _, err := ParallelBFS(g, []BFSTask{{Root: 0, DepthLimit: -1}}, Options{MaxRounds: 1})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Errorf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func buildAggTask(t *testing.T, g *graph.Graph, root graph.NodeID, vals map[graph.NodeID]AggValue) AggTask {
+	t.Helper()
+	out, _, err := ParallelBFS(g, []BFSTask{{Root: root, DepthLimit: -1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AggTask{
+		Root:     root,
+		Parent:   out[0].Parent,
+		Children: out[0].Children,
+		Local:    vals,
+	}
+}
+
+func TestParallelMinAggregateSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.ErdosRenyi(50, 0.08, rng)
+	vals := make(map[graph.NodeID]AggValue, 50)
+	best := AggValue{}
+	for v := 0; v < 50; v++ {
+		av := AggValue{Weight: rng.Float64(), Edge: graph.EdgeID(v), Valid: true}
+		vals[graph.NodeID(v)] = av
+		if av.Better(best) {
+			best = av
+		}
+	}
+	task := buildAggTask(t, g, 0, vals)
+	results, stats, err := ParallelMinAggregate(g, []AggTask{task}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != best {
+		t.Errorf("min = %+v, want %+v", results[0], best)
+	}
+	if stats.Rounds == 0 || stats.Messages == 0 {
+		t.Errorf("stats empty: %+v", stats)
+	}
+}
+
+func TestParallelMinAggregateInvalidValues(t *testing.T) {
+	g := gen.Path(5)
+	vals := make(map[graph.NodeID]AggValue, 5)
+	for v := 0; v < 5; v++ {
+		vals[graph.NodeID(v)] = AggValue{} // all invalid
+	}
+	vals[3] = AggValue{Weight: 2.5, Edge: 7, Valid: true}
+	task := buildAggTask(t, g, 0, vals)
+	results, _, err := ParallelMinAggregate(g, []AggTask{task}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Valid || results[0].Edge != 7 {
+		t.Errorf("result = %+v, want the single valid value", results[0])
+	}
+}
+
+func TestParallelMinAggregateManyTasks(t *testing.T) {
+	// Disjoint halves of a path, one aggregate each, run together.
+	g := gen.Path(12)
+	mk := func(lo, hi int, root graph.NodeID) AggTask {
+		filter := func(_ int32, u, v graph.NodeID, _ graph.EdgeID) bool {
+			return int(u) >= lo && int(u) <= hi && int(v) >= lo && int(v) <= hi
+		}
+		out, _, err := ParallelBFS(g, []BFSTask{{Root: root, Allowed: filter, DepthLimit: -1}}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make(map[graph.NodeID]AggValue)
+		for v := range out[0].Dist {
+			vals[v] = AggValue{Weight: float64(v), Edge: graph.EdgeID(v), Valid: true}
+		}
+		return AggTask{Root: root, Parent: out[0].Parent, Children: out[0].Children, Local: vals}
+	}
+	rng := rand.New(rand.NewSource(6))
+	tasks := []AggTask{mk(0, 5, 2), mk(6, 11, 9)}
+	results, _, err := ParallelMinAggregate(g, tasks, Options{MaxDelay: 4, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Edge != 0 {
+		t.Errorf("task 0 min edge = %d, want 0", results[0].Edge)
+	}
+	if results[1].Edge != 6 {
+		t.Errorf("task 1 min edge = %d, want 6", results[1].Edge)
+	}
+}
+
+func TestAggValueBetter(t *testing.T) {
+	a := AggValue{Weight: 1, Edge: 2, Valid: true}
+	b := AggValue{Weight: 1, Edge: 3, Valid: true}
+	c := AggValue{Weight: 0.5, Edge: 9, Valid: true}
+	invalid := AggValue{}
+	if !a.Better(b) || b.Better(a) {
+		t.Error("tie-break by edge failed")
+	}
+	if !c.Better(a) {
+		t.Error("weight comparison failed")
+	}
+	if invalid.Better(a) || !a.Better(invalid) {
+		t.Error("invalid handling failed")
+	}
+	if invalid.Better(invalid) {
+		t.Error("invalid vs invalid should be false")
+	}
+}
+
+func TestNoDelayDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.ErdosRenyi(80, 0.05, rng)
+	tasks := []BFSTask{{Root: 1, DepthLimit: -1}, {Root: 50, DepthLimit: -1}}
+	out1, stats1, err := ParallelBFS(g, tasks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, stats2, err := ParallelBFS(g, tasks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1 != stats2 {
+		t.Errorf("stats differ across identical runs: %+v vs %+v", stats1, stats2)
+	}
+	for i := range out1 {
+		if len(out1[i].Dist) != len(out2[i].Dist) {
+			t.Errorf("task %d visited sets differ", i)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package shortcut
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Options configures the centralized construction.
+type Options struct {
+	// Diameter is the (assumed) diameter D used to derive kD. If 0, the
+	// double-sweep lower bound of the graph is used (exact on the generator
+	// families in internal/gen).
+	Diameter int
+	// Reps is the number of independent sampling repetitions of Step 2;
+	// 0 selects the paper's D repetitions. (Ablation A1 varies this.)
+	Reps int
+	// LogFactor scales the log n term in the sampling probability
+	// p = LogFactor·ln(n)·kD/N; 0 selects 1.0 (the paper's constant). At
+	// small n and large D the paper's p saturates at 1; see EXPERIMENTS.md.
+	LogFactor float64
+	// Rng supplies randomness and must be non-nil.
+	Rng *rand.Rand
+}
+
+// Build runs the centralized shortcut construction of Section 2:
+//
+//	Step 1: every node v ∈ Si adds all its incident edges to Hi.
+//	Step 2: every node u ∉ Si adds each incident directed edge (u, v) to Hi
+//	        independently with probability p; repeated Reps times.
+//
+// Only "large" parts (|Si| > kD) receive shortcut subgraphs; small parts
+// already have diameter ≤ kD. Odd diameters are handled per Section 3.2 by
+// sampling each half of a subdivided edge with probability √p — since both
+// halves are needed, the per-edge inclusion probability is (√p)² = p, so the
+// construction below (one draw at p) is distribution-identical; tree.go
+// retains the per-level √p semantics for the dilation analysis artifacts.
+func Build(g *graph.Graph, p *Partition, opts Options) (*Shortcuts, error) {
+	if opts.Rng == nil {
+		return nil, fmt.Errorf("shortcut: Options.Rng is required")
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("shortcut: empty graph")
+	}
+	d := opts.Diameter
+	if d == 0 {
+		lo, _ := graph.DiameterBounds(g)
+		d = int(lo)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("shortcut: diameter %d < 1", d)
+	}
+	params := DeriveParams(n, d, opts.Reps, opts.LogFactor)
+
+	sc := &Shortcuts{
+		P:      p,
+		H:      make([][]graph.EdgeID, p.NumParts()),
+		Params: params,
+	}
+	large := p.LargeParts(int(params.KD))
+	if len(large) == 0 {
+		return sc, nil
+	}
+
+	// Per-large-part membership bitsets over edges.
+	his := make([]*graph.Bitset, len(large))
+	for i := range his {
+		his[i] = graph.NewBitset(g.NumEdges())
+	}
+	// largeIdxOf[part] = position of part in `large`, or -1.
+	largeIdxOf := make([]int32, p.NumParts())
+	for i := range largeIdxOf {
+		largeIdxOf[i] = -1
+	}
+	for li, pi := range large {
+		largeIdxOf[pi] = int32(li)
+	}
+
+	// Step 1: incident edges of each large part's nodes.
+	for li, pi := range large {
+		for _, u := range p.Part(pi).Nodes {
+			lo, hi := g.ArcRange(u)
+			for a := lo; a < hi; a++ {
+				his[li].Set(g.ArcEdge(a))
+			}
+		}
+	}
+
+	// Step 2: per directed arc (u, v) and repetition, sample the set of
+	// large parts (with u outside the part) that take the edge. Geometric
+	// skip-sampling keeps the work proportional to the number of hits.
+	sampleHits(g, p, largeIdxOf, len(large), params.P, params.Reps, opts.Rng, func(li int32, e graph.EdgeID) {
+		his[li].Set(e)
+	})
+
+	for li, pi := range large {
+		edges := make([]graph.EdgeID, 0, his[li].Count())
+		his[li].ForEach(func(e int32) { edges = append(edges, e) })
+		sc.H[pi] = edges
+	}
+	return sc, nil
+}
+
+// sampleHits invokes hit(largeIndex, edge) for every successful Bernoulli(p)
+// draw of (directed arc, repetition, large part) with the arc's tail outside
+// the part. Distribution-faithful to Step 2 of the centralized construction.
+func sampleHits(
+	g *graph.Graph,
+	p *Partition,
+	largeIdxOf []int32,
+	numLarge int,
+	prob float64,
+	reps int,
+	rng *rand.Rand,
+	hit func(li int32, e graph.EdgeID),
+) {
+	if prob <= 0 || numLarge == 0 {
+		return
+	}
+	all := prob >= 1
+	var logq float64
+	if !all {
+		logq = math.Log1p(-prob)
+	}
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		uPart := p.PartOf(graph.NodeID(u))
+		uLarge := int32(-1)
+		if uPart >= 0 {
+			uLarge = largeIdxOf[uPart]
+		}
+		lo, hi := g.ArcRange(graph.NodeID(u))
+		for a := lo; a < hi; a++ {
+			e := g.ArcEdge(a)
+			for r := 0; r < reps; r++ {
+				if all {
+					for li := int32(0); li < int32(numLarge); li++ {
+						if li == uLarge {
+							continue // u ∈ Si samples nothing for its own part
+						}
+						hit(li, e)
+					}
+					continue
+				}
+				li := int32(0)
+				for {
+					// Geometric number of failures before the next success;
+					// compare in float to avoid integer overflow on huge skips.
+					skip := math.Log(1-rng.Float64()) / logq
+					if skip >= float64(int32(numLarge)-li) {
+						break
+					}
+					li += int32(skip)
+					if li != uLarge {
+						hit(li, e)
+					}
+					li++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package shortcut
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// DistOptions configures the distributed construction.
+type DistOptions struct {
+	// Rng drives sampling and the scheduler's random delays. Required.
+	Rng *rand.Rand
+	// LogFactor and Reps as in Options (0 = paper defaults).
+	LogFactor float64
+	Reps      int
+	// Runner selects the CONGEST engine (nil = congest.RunSequential).
+	Runner congest.Runner
+	// DepthFactor scales the truncation depth of the scheduled BFS phase:
+	// depth = DepthFactor·kD·log2(n). 0 selects 2.
+	DepthFactor float64
+	// KnownDiameter skips the diameter-guessing loop when > 0 (the paper's
+	// "assuming the knowledge of D" variant).
+	KnownDiameter int
+	// MaxRounds bounds each simulated phase (0 = generous default).
+	MaxRounds int
+	// CongestionCapFactor scales the enforcement threshold on sampled edge
+	// congestion (0 selects 6); a guess whose sampling exceeds
+	// CongestionCapFactor·Reps·kD·ln(n)·LogFactor fails immediately, as in
+	// the paper's verification step.
+	CongestionCapFactor float64
+}
+
+// DistResult is the outcome of the distributed construction with exact
+// simulated cost accounting.
+type DistResult struct {
+	S *Shortcuts
+	// Rounds and Messages aggregate every simulated phase across every
+	// diameter guess: leader election, global BFS, per-guess part BFS,
+	// verification exchanges, enumeration, broadcast, and the scheduled
+	// parallel BFS.
+	Rounds   int
+	Messages int64
+	// Guesses is the number of diameter guesses tried (1 when
+	// KnownDiameter is set).
+	Guesses int
+	// Diameter is the guess that succeeded.
+	Diameter int
+	// EccApprox is the leader eccentricity found by phase 0 (ecc ≤ D ≤ 2ecc).
+	EccApprox int32
+	// SchedStats is the scheduler accounting of the successful guess's
+	// parallel-BFS phase (realized congestion/queueing).
+	SchedStats sched.Stats
+}
+
+// BuildDistributed runs the paper's distributed shortcut construction
+// (Section 2, "Distributed implementation") on the CONGEST simulator:
+//
+//  0. Leader election by max-ID flooding; the leader's eccentricity gives
+//     the 2-approximation D' of the diameter.
+//  1. A global BFS tree from the leader (used to number large parts and to
+//     broadcast global counters).
+//  2. For each guess D” (or the known D): truncated BFS of depth kD inside
+//     every part detects large parts; a one-round reached-bit exchange plus
+//     a convergecast lets each leader decide |Si| > kD.
+//  3. Large leaders are numbered 1..N' via convergecast/prefix-broadcast on
+//     the global tree, and N' is broadcast to everyone.
+//  4. Every node locally samples its incident edges into the N' shortcut
+//     subgraphs (Step 2 of the centralized construction; zero rounds). The
+//     sampled congestion is checked against the enforcement cap.
+//  5. Truncated BFS trees rooted at the leaders are grown in all augmented
+//     subgraphs G[Si] ∪ Hi simultaneously under random-delay scheduling
+//     (Theorem 2.1).
+//  6. Verification: a reached-bit exchange plus a scheduled convergecast
+//     over the new trees tells each leader whether its tree spans Si. If
+//     every part is spanned the guess succeeds; otherwise the next guess is
+//     tried.
+//
+// All knowledge used by the simulated nodes is either local, carried by
+// simulated messages, or standard CONGEST input (IDs, n, part leader IDs).
+func BuildDistributed(g *graph.Graph, p *Partition, opts DistOptions) (*DistResult, error) {
+	if opts.Rng == nil {
+		return nil, fmt.Errorf("shortcut: DistOptions.Rng is required")
+	}
+	runner := opts.Runner
+	if runner == nil {
+		runner = congest.RunSequential
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("shortcut: empty graph")
+	}
+	maxR := opts.MaxRounds
+	if maxR <= 0 {
+		maxR = 64*n + 4096
+	}
+
+	res := &DistResult{}
+
+	// Phase 0: leader election + diameter approximation.
+	mf, st, err := congest.RunMaxFlood(g, runner, maxR)
+	if err != nil {
+		return nil, fmt.Errorf("shortcut: leader election: %w", err)
+	}
+	res.addStats(st)
+	ecc := mf.EccApprox()
+	if ecc < 1 {
+		ecc = 1
+	}
+	res.EccApprox = ecc
+
+	// Phase 1: global BFS tree from the leader.
+	globalTree, st, err := congest.RunBFS(g, mf.Leader, runner, maxR)
+	if err != nil {
+		return nil, fmt.Errorf("shortcut: global BFS: %w", err)
+	}
+	res.addStats(st)
+
+	low, high := int(ecc), 2*int(ecc)
+	if opts.KnownDiameter > 0 {
+		low, high = opts.KnownDiameter, opts.KnownDiameter
+	}
+	leaderOf := p.LeaderOf()
+	for guess := low; guess <= high; guess++ {
+		res.Guesses++
+		sc, ok, err := tryGuess(g, p, leaderOf, globalTree, guess, &opts, runner, maxR, res)
+		if err != nil {
+			return nil, fmt.Errorf("shortcut: guess D=%d: %w", guess, err)
+		}
+		if ok {
+			res.S = sc
+			res.Diameter = guess
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("shortcut: no diameter guess in [%d,%d] produced verified shortcuts", low, high)
+}
+
+func (r *DistResult) addStats(st congest.Stats) {
+	r.Rounds += st.Rounds
+	r.Messages += st.Messages
+}
+
+func (r *DistResult) addSched(st sched.Stats) {
+	r.Rounds += st.Rounds
+	r.Messages += st.Messages
+}
+
+func tryGuess(
+	g *graph.Graph,
+	p *Partition,
+	leaderOf []graph.NodeID,
+	globalTree *congest.Tree,
+	dGuess int,
+	opts *DistOptions,
+	runner congest.Runner,
+	maxR int,
+	res *DistResult,
+) (*Shortcuts, bool, error) {
+	n := g.NumNodes()
+	params := DeriveParams(n, dGuess, opts.Reps, opts.LogFactor)
+	kdInt := int(math.Ceil(params.KD))
+
+	// Phase 2: truncated intra-part BFS to classify parts.
+	forest, st, err := congest.RunPartBFS(g, leaderOf, int32(kdInt), runner, maxR)
+	if err != nil {
+		return nil, false, fmt.Errorf("part BFS: %w", err)
+	}
+	res.addStats(st)
+
+	reached := make([]bool, n)
+	for v := 0; v < n; v++ {
+		reached[v] = forest.Dist[v] != graph.Unreached
+	}
+	flags, st, err := congest.RunReachExchange(g, leaderOf, reached, runner, maxR)
+	if err != nil {
+		return nil, false, fmt.Errorf("reach exchange: %w", err)
+	}
+	res.addStats(st)
+
+	// Convergecast (count, boundary-flag) packed into one value.
+	const flagShift = 40
+	values := make([]int64, n)
+	for v := 0; v < n; v++ {
+		if !reached[v] {
+			continue
+		}
+		values[v] = 1
+		if flags[v] {
+			values[v] |= 1 << flagShift
+		}
+	}
+	totals, st, err := congest.RunForestSum(g, forest, values, runner, maxR)
+	if err != nil {
+		return nil, false, fmt.Errorf("part size convergecast: %w", err)
+	}
+	res.addStats(st)
+
+	marked := make([]bool, n)
+	var large []int
+	for i := 0; i < p.NumParts(); i++ {
+		leader := p.Part(i).Leader
+		count := totals[leader] & ((1 << flagShift) - 1)
+		truncated := totals[leader]>>flagShift > 0
+		if truncated || count > int64(kdInt) {
+			large = append(large, i)
+			marked[leader] = true
+		}
+	}
+
+	// Phase 3: number the large parts and broadcast their count.
+	enum, st, err := congest.RunEnumerate(g, globalTree, marked, runner, maxR)
+	if err != nil {
+		return nil, false, fmt.Errorf("enumerate: %w", err)
+	}
+	res.addStats(st)
+	if enum.Total != int64(len(large)) {
+		return nil, false, fmt.Errorf("enumerate counted %d large parts, expected %d", enum.Total, len(large))
+	}
+	_, st, err = congest.RunTreeBroadcast(g, globalTree, enum.Total, runner, maxR)
+	if err != nil {
+		return nil, false, fmt.Errorf("broadcast N: %w", err)
+	}
+	res.addStats(st)
+
+	// Phase 4: local sampling (zero communication). Every node samples its
+	// incident directed edges into the N' subgraphs.
+	his := make([]*graph.Bitset, len(large))
+	for i := range his {
+		his[i] = graph.NewBitset(g.NumEdges())
+	}
+	largeIdxOf := make([]int32, p.NumParts())
+	for i := range largeIdxOf {
+		largeIdxOf[i] = -1
+	}
+	for li, pi := range large {
+		largeIdxOf[pi] = int32(li)
+	}
+	for li, pi := range large {
+		for _, u := range p.Part(pi).Nodes {
+			lo, hi := g.ArcRange(u)
+			for a := lo; a < hi; a++ {
+				his[li].Set(g.ArcEdge(a))
+			}
+		}
+	}
+	sampleHits(g, p, largeIdxOf, len(large), params.P, params.Reps, opts.Rng, func(li int32, e graph.EdgeID) {
+		his[li].Set(e)
+	})
+
+	// Congestion enforcement (the paper's cap before scheduling).
+	capFactor := opts.CongestionCapFactor
+	if capFactor <= 0 {
+		capFactor = 6
+	}
+	lf := params.LogFactor
+	capC := int(math.Ceil(capFactor*float64(params.Reps)*params.KD*math.Log(float64(n))*lf)) + 16
+	if maxMembership(g, his) > capC {
+		return nil, false, nil // guess fails: congestion exceeded
+	}
+
+	// Phase 5: scheduled parallel truncated BFS in all augmented subgraphs.
+	depthFactor := opts.DepthFactor
+	if depthFactor <= 0 {
+		depthFactor = 2
+	}
+	depthLimit := int32(math.Ceil(depthFactor * params.KD * math.Log2(float64(n))))
+	tasks := make([]sched.BFSTask, len(large))
+	for li, pi := range large {
+		h := his[li]
+		tasks[li] = sched.BFSTask{
+			Root: p.Part(pi).Leader,
+			Allowed: func(_ int32, _, _ graph.NodeID, e graph.EdgeID) bool {
+				return h.Has(e)
+			},
+			DepthLimit: depthLimit,
+		}
+	}
+	schedMax := opts.MaxRounds
+	if schedMax <= 0 {
+		schedMax = 0 // let sched pick its default
+	}
+	out, sst, err := sched.ParallelBFS(g, tasks, sched.Options{
+		MaxDelay:  kdInt,
+		Rng:       opts.Rng,
+		MaxRounds: schedMax,
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("scheduled BFS: %w", err)
+	}
+	res.addSched(sst)
+	res.SchedStats = sst
+
+	// Phase 6: verification. Each Si node learns whether it borders an
+	// unreached Si node of its own tree (one round), then each leader
+	// convergecasts the flag over its new tree.
+	reached2 := make([]bool, n)
+	for v := range reached2 {
+		reached2[v] = true // nodes of small parts / no part count as covered
+	}
+	for li, pi := range large {
+		for _, v := range p.Part(pi).Nodes {
+			_, ok := out[li].Dist[v]
+			reached2[v] = ok
+		}
+	}
+	flags2, st, err := congest.RunReachExchange(g, leaderOf, reached2, runner, maxR)
+	if err != nil {
+		return nil, false, fmt.Errorf("verification exchange: %w", err)
+	}
+	res.addStats(st)
+
+	aggTasks := make([]sched.AggTask, len(large))
+	for li, pi := range large {
+		local := make(map[graph.NodeID]sched.AggValue, len(out[li].Dist))
+		for v := range out[li].Dist {
+			w := 0.0
+			if p.PartOf(v) == int32(pi) && flags2[v] {
+				w = -1
+			}
+			local[v] = sched.AggValue{Weight: w, Valid: true}
+		}
+		aggTasks[li] = sched.AggTask{
+			Root:     p.Part(pi).Leader,
+			Parent:   out[li].Parent,
+			Children: out[li].Children,
+			Local:    local,
+		}
+	}
+	verdicts, sst2, err := sched.ParallelMinAggregate(g, aggTasks, sched.Options{
+		MaxDelay:  kdInt,
+		Rng:       opts.Rng,
+		MaxRounds: schedMax,
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("verification convergecast: %w", err)
+	}
+	res.addSched(sst2)
+	for _, v := range verdicts {
+		if v.Weight < 0 {
+			return nil, false, nil // some part's tree is not spanning: guess fails
+		}
+	}
+	// Also require that every leader actually reached its whole part (the
+	// flag test covers interior gaps; an entirely-unreached part has no
+	// boundary witness only if the leader itself failed, which cannot happen
+	// since the leader is the BFS root).
+	sc := &Shortcuts{P: p, H: make([][]graph.EdgeID, p.NumParts()), Params: params}
+	for li, pi := range large {
+		edges := make([]graph.EdgeID, 0, his[li].Count())
+		his[li].ForEach(func(e int32) { edges = append(edges, e) })
+		sc.H[pi] = edges
+	}
+	return sc, true, nil
+}
+
+func maxMembership(g *graph.Graph, his []*graph.Bitset) int {
+	count := make([]int32, g.NumEdges())
+	for _, h := range his {
+		h.ForEach(func(e int32) { count[e]++ })
+	}
+	var m int32
+	for _, c := range count {
+		if c > m {
+			m = c
+		}
+	}
+	return int(m)
+}

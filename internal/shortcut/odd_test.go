@@ -1,0 +1,109 @@
+package shortcut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// twoCoinSample mirrors the odd-diameter construction of Section 3.2
+// literally: each half of a subdivided edge is sampled with probability √p,
+// and the edge enters H only when both halves succeed. The production code
+// uses a single draw at p = (√p)²; this reference implementation exists to
+// verify the distribution equivalence empirically.
+func twoCoinSample(p float64, rng *rand.Rand) bool {
+	sq := math.Sqrt(p)
+	return rng.Float64() < sq && rng.Float64() < sq
+}
+
+func TestOddDiameterTwoCoinDistribution(t *testing.T) {
+	const (
+		p      = 0.37
+		trials = 200000
+	)
+	rng := rand.New(rand.NewSource(1))
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if twoCoinSample(p, rng) {
+			hits++
+		}
+	}
+	mean := float64(trials) * p
+	sigma := math.Sqrt(float64(trials) * p * (1 - p))
+	if math.Abs(float64(hits)-mean) > 5*sigma {
+		t.Errorf("two-coin hits = %d, expected %f ± %f (5σ)", hits, mean, 5*sigma)
+	}
+}
+
+func TestOddDiameterConstructionQuality(t *testing.T) {
+	// Odd D must land in the same quality regime as the even neighbors: the
+	// construction handles it via the √p mechanism without special casing.
+	seed := int64(2)
+	results := make(map[int]int) // D -> quality sum
+	for _, d := range []int{4, 5, 6} {
+		rng := rand.New(rand.NewSource(seed + int64(d)))
+		hi, err := gen.NewHardInstance(2000, d, 0, 0, rng)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		p := mustPartition(t, hi.G, hi.Paths)
+		s, err := Build(hi.G, p, Options{Diameter: d, LogFactor: 0.3, Rng: rng})
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		q, err := s.Dilation(0)
+		if err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		results[d] = q.Sum()
+	}
+	// The odd value must sit within the band spanned by its even neighbors
+	// (allowing 2x slack for randomness).
+	lo, hi := results[4], results[6]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if results[5] > 2*hi || 2*results[5] < lo {
+		t.Errorf("odd D=5 quality %d far outside even band [%d, %d]", results[5], lo, hi)
+	}
+}
+
+func TestSubdividedGraphReference(t *testing.T) {
+	// Build the explicit subdivision G' of a small graph and verify the
+	// structural claims of Section 3.2: G' has n+m nodes, 2m edges, and
+	// diameter exactly 2·diam(G).
+	g := gen.Cycle(7)
+	n, m := g.NumNodes(), g.NumEdges()
+	b := graph.NewBuilder(n + m)
+	for e := 0; e < m; e++ {
+		u, v := g.EdgeEndpoints(graph.EdgeID(e))
+		mid := graph.NodeID(n + e)
+		if err := b.AddEdge(u, mid); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(mid, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gp := b.Build()
+	if gp.NumEdges() != 2*m {
+		t.Errorf("G' edges = %d, want %d", gp.NumEdges(), 2*m)
+	}
+	// Distances between original nodes double exactly.
+	orig := graph.BFS(g, 0)
+	sub := graph.BFS(gp, 0)
+	for v := 0; v < n; v++ {
+		if sub.Dist[v] != 2*orig.Dist[v] {
+			t.Errorf("dist'(0,%d) = %d, want %d", v, sub.Dist[v], 2*orig.Dist[v])
+		}
+	}
+	// The full diameter of G' (midpoints included) is 2D or 2D+1.
+	d2 := int(graph.Diameter(gp))
+	d := int(graph.Diameter(g))
+	if d2 != 2*d && d2 != 2*d+1 {
+		t.Errorf("G' diameter = %d, want %d or %d", d2, 2*d, 2*d+1)
+	}
+}

@@ -1,0 +1,204 @@
+package shortcut
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Shortcuts is a computed shortcut assignment: part i is augmented with the
+// edge set H[i] ⊆ E(G). H[i] is nil/empty for parts that received no
+// shortcut (small parts).
+type Shortcuts struct {
+	P *Partition
+	H [][]graph.EdgeID
+	// Params records the construction parameters used (for reporting).
+	Params Params
+}
+
+// Params are the quantities of Section 2's construction, recorded on every
+// result for reporting: kD = n^((D-2)/(2D-2)), N = ⌈n/kD⌉, and the per-
+// repetition sampling probability p = min(1, logFactor·ln n·kD/N).
+type Params struct {
+	Diameter  int
+	KD        float64
+	N         int
+	P         float64
+	Reps      int
+	LogFactor float64
+}
+
+// DeriveParams computes the construction parameters for an n-vertex graph of
+// diameter d. logFactor scales the log n term of the sampling probability
+// (1.0 reproduces the paper's constants; experiments at small n may shrink
+// it to keep p < 1 and expose the asymptotic shape — see EXPERIMENTS.md).
+func DeriveParams(n, d int, reps int, logFactor float64) Params {
+	if logFactor <= 0 {
+		logFactor = 1
+	}
+	kd := 1.0
+	if d > 2 {
+		kd = math.Pow(float64(n), float64(d-2)/float64(2*d-2))
+	}
+	bigN := int(math.Ceil(float64(n) / kd))
+	if bigN < 1 {
+		bigN = 1
+	}
+	p := logFactor * math.Log(float64(n)) * kd / float64(bigN)
+	if p > 1 {
+		p = 1
+	}
+	if reps <= 0 {
+		reps = d
+	}
+	return Params{Diameter: d, KD: kd, N: bigN, P: p, Reps: reps, LogFactor: logFactor}
+}
+
+// Quality is a measured (congestion, dilation) pair with its certification
+// level.
+type Quality struct {
+	Congestion int
+	// DilationLo ≤ true dilation ≤ DilationHi. When Exact, both are equal.
+	DilationLo int32
+	DilationHi int32
+	Exact      bool
+}
+
+// Sum returns congestion + dilation (upper bound), the paper's quality
+// measure c + d.
+func (q Quality) Sum() int { return q.Congestion + int(q.DilationHi) }
+
+func (q Quality) String() string {
+	if q.Exact {
+		return fmt.Sprintf("c=%d d=%d (exact)", q.Congestion, q.DilationHi)
+	}
+	return fmt.Sprintf("c=%d d∈[%d,%d]", q.Congestion, q.DilationLo, q.DilationHi)
+}
+
+// Congestion computes the exact congestion: the maximum over edges e of the
+// number of augmented subgraphs G[Si] ∪ Hi containing e. An edge inside
+// G[Si] that also appears in Hi counts once for part i.
+func (s *Shortcuts) Congestion() int {
+	g := s.P.Graph()
+	count := make([]int32, g.NumEdges())
+	mark := graph.NewBitset(g.NumEdges())
+	for i := 0; i < s.P.NumParts(); i++ {
+		mark.Reset()
+		part := s.P.Part(i)
+		for _, u := range part.Nodes {
+			g.Arcs(u, func(_ int32, v graph.NodeID, e graph.EdgeID) bool {
+				if s.P.PartOf(v) == int32(i) {
+					mark.Set(e)
+				}
+				return true
+			})
+		}
+		if i < len(s.H) {
+			for _, e := range s.H[i] {
+				mark.Set(e)
+			}
+		}
+		mark.ForEach(func(e int32) { count[e]++ })
+	}
+	var maxC int32
+	for _, c := range count {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return int(maxC)
+}
+
+// CongestionProfile returns the full per-edge congestion histogram: hist[c]
+// is the number of edges with congestion exactly c. Used by experiment E3 to
+// compare the distribution against the Chernoff bound.
+func (s *Shortcuts) CongestionProfile() []int {
+	g := s.P.Graph()
+	count := make([]int32, g.NumEdges())
+	mark := graph.NewBitset(g.NumEdges())
+	for i := 0; i < s.P.NumParts(); i++ {
+		mark.Reset()
+		part := s.P.Part(i)
+		for _, u := range part.Nodes {
+			g.Arcs(u, func(_ int32, v graph.NodeID, e graph.EdgeID) bool {
+				if s.P.PartOf(v) == int32(i) {
+					mark.Set(e)
+				}
+				return true
+			})
+		}
+		if i < len(s.H) {
+			for _, e := range s.H[i] {
+				mark.Set(e)
+			}
+		}
+		mark.ForEach(func(e int32) { count[e]++ })
+	}
+	var maxC int32
+	for _, c := range count {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	hist := make([]int, maxC+1)
+	for _, c := range count {
+		hist[c]++
+	}
+	return hist
+}
+
+// Dilation measures the dilation of the shortcut assignment. For parts with
+// at most exactCutoff nodes the per-part diameter is computed exactly (one
+// BFS per part node inside the augmented view); larger parts fall back to a
+// certified 2-approximation from the leader's eccentricity. exactCutoff ≤ 0
+// means always exact. A disconnected augmented part yields an error (Build
+// never produces one: Step 1 keeps G[Si] intact).
+func (s *Shortcuts) Dilation(exactCutoff int) (Quality, error) {
+	var q Quality
+	q.Exact = true
+	for i := 0; i < s.P.NumParts(); i++ {
+		part := s.P.Part(i)
+		var h []graph.EdgeID
+		if i < len(s.H) {
+			h = s.H[i]
+		}
+		view := graph.NewAugmentedView(s.P.Graph(), part.Nodes, h)
+		if exactCutoff <= 0 || len(part.Nodes) <= exactCutoff {
+			d := view.DiameterAmong(part.Nodes)
+			if d < 0 {
+				return q, fmt.Errorf("shortcut: part %d disconnected in augmented subgraph", i)
+			}
+			if d > q.DilationLo {
+				q.DilationLo = d
+			}
+			if d > q.DilationHi {
+				q.DilationHi = d
+			}
+			continue
+		}
+		ecc := view.EccentricityAmong(part.Leader, part.Nodes)
+		if ecc < 0 {
+			return q, fmt.Errorf("shortcut: part %d disconnected in augmented subgraph", i)
+		}
+		q.Exact = false
+		if ecc > q.DilationLo {
+			q.DilationLo = ecc
+		}
+		if 2*ecc > q.DilationHi {
+			q.DilationHi = 2 * ecc
+		}
+	}
+	q.Congestion = s.Congestion()
+	return q, nil
+}
+
+// TotalShortcutEdges returns Σ|Hi|, the storage (and message-complexity
+// driver) of the assignment.
+func (s *Shortcuts) TotalShortcutEdges() int {
+	total := 0
+	for _, h := range s.H {
+		total += len(h)
+	}
+	return total
+}

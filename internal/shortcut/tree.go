@@ -1,0 +1,241 @@
+package shortcut
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// AuxGraph materializes the paper's auxiliary layered graph G_{P,Q,ℓ}
+// (Section 3.1): given a path P = [p1..p_{2d-1}] in G, a node set Q, and a
+// bound ℓ ≥ dist_G(P, Q), the graph has layers
+//
+//	L1 = V(P),  L2..Lℓ = copies of V(G),  L_{ℓ+1} = Q,  L_{ℓ+2} = {r},
+//
+// with edges between consecutive layers given by self-copies and G-edges,
+// plus the root connected to all of Q. Its purpose is to normalize every
+// P-to-Q shortest path to length exactly ℓ so the dilation argument can
+// reason level by level. This type is the analysis made executable: the E11
+// experiment and the property tests check Lemma 3.3 on real samples of it.
+type AuxGraph struct {
+	base *graph.Graph
+	p    []graph.NodeID
+	q    []graph.NodeID
+	ell  int
+
+	aux     *graph.Graph
+	numMid  int // number of middle layers = ℓ-1
+	midBase int // first aux ID of layer 2
+	qBase   int // first aux ID of layer ℓ+1
+	root    graph.NodeID
+}
+
+// NewAuxGraph builds G_{P,Q,ℓ}. Requirements: ℓ ≥ 2, P and Q non-empty, and
+// dist_G(u, Q) ≤ ℓ for every u ∈ P (checked; otherwise some P-leaf would not
+// connect to the root).
+func NewAuxGraph(base *graph.Graph, p, q []graph.NodeID, ell int) (*AuxGraph, error) {
+	if ell < 2 {
+		return nil, fmt.Errorf("aux graph: ℓ=%d < 2", ell)
+	}
+	if len(p) == 0 || len(q) == 0 {
+		return nil, fmt.Errorf("aux graph: empty P or Q")
+	}
+	// Validate the distance requirement with one multi-source BFS from Q.
+	res := graph.MultiSourceBFS(base, q)
+	for _, u := range p {
+		if res.Dist[u] == graph.Unreached || res.Dist[u] > int32(ell) {
+			return nil, fmt.Errorf("aux graph: dist(p=%d, Q) = %d exceeds ℓ=%d", u, res.Dist[u], ell)
+		}
+	}
+
+	n := base.NumNodes()
+	a := &AuxGraph{base: base, p: p, q: q, ell: ell}
+	a.numMid = ell - 1
+	a.midBase = len(p)
+	a.qBase = a.midBase + a.numMid*n
+	total := a.qBase + len(q) + 1
+	a.root = graph.NodeID(total - 1)
+
+	b := graph.NewBuilder(total)
+	// L1 -> L2: p_j connects to the L2 copies of itself and its G-neighbors.
+	for j, u := range p {
+		b.TryAddEdge(graph.NodeID(j), a.midID(2, u))
+		for _, w := range base.Neighbors(u) {
+			b.TryAddEdge(graph.NodeID(j), a.midID(2, w))
+		}
+	}
+	// Middle layers: L_k -> L_{k+1} for k = 2..ℓ-1.
+	for k := 2; k < ell; k++ {
+		for v := 0; v < n; v++ {
+			b.TryAddEdge(a.midID(k, graph.NodeID(v)), a.midID(k+1, graph.NodeID(v)))
+		}
+		for e := 0; e < base.NumEdges(); e++ {
+			u, v := base.EdgeEndpoints(graph.EdgeID(e))
+			b.TryAddEdge(a.midID(k, u), a.midID(k+1, v))
+			b.TryAddEdge(a.midID(k, v), a.midID(k+1, u))
+		}
+	}
+	// L_ℓ -> L_{ℓ+1} = Q: copies of q_j and of its neighbors connect to q_j.
+	for j, qu := range q {
+		qid := graph.NodeID(a.qBase + j)
+		b.TryAddEdge(a.midID(ell, qu), qid)
+		for _, w := range base.Neighbors(qu) {
+			b.TryAddEdge(a.midID(ell, w), qid)
+		}
+	}
+	// Root edges.
+	for j := range q {
+		b.TryAddEdge(graph.NodeID(a.qBase+j), a.root)
+	}
+	a.aux = b.Build()
+	return a, nil
+}
+
+// midID returns the aux ID of graph node v's copy in layer k ∈ [2, ℓ].
+func (a *AuxGraph) midID(k int, v graph.NodeID) graph.NodeID {
+	return graph.NodeID(a.midBase + (k-2)*a.base.NumNodes() + int(v))
+}
+
+// Layer returns the layer (1..ℓ+2) of an aux node ID.
+func (a *AuxGraph) Layer(id graph.NodeID) int {
+	switch {
+	case int(id) < a.midBase:
+		return 1
+	case int(id) < a.qBase:
+		return 2 + (int(id)-a.midBase)/a.base.NumNodes()
+	case id == a.root:
+		return a.ell + 2
+	default:
+		return a.ell + 1
+	}
+}
+
+// GraphNode maps an aux node back to its underlying graph vertex.
+func (a *AuxGraph) GraphNode(id graph.NodeID) graph.NodeID {
+	switch a.Layer(id) {
+	case 1:
+		return a.p[id]
+	case a.ell + 2:
+		return -1
+	case a.ell + 1:
+		return a.q[int(id)-a.qBase]
+	default:
+		return graph.NodeID((int(id) - a.midBase) % a.base.NumNodes())
+	}
+}
+
+// Aux returns the materialized layered graph.
+func (a *AuxGraph) Aux() *graph.Graph { return a.aux }
+
+// Root returns the aux ID of the root r.
+func (a *AuxGraph) Root() graph.NodeID { return a.root }
+
+// Ell returns ℓ.
+func (a *AuxGraph) Ell() int { return a.ell }
+
+// PathLen returns |P|.
+func (a *AuxGraph) PathLen() int { return len(a.p) }
+
+// BFSTree computes T_{P,Q,ℓ}: the BFS tree rooted at r in the aux graph.
+// Every P-node sits at depth exactly ℓ+1 (guaranteed by the construction).
+func (a *AuxGraph) BFSTree() *graph.BFSResult {
+	return graph.BFS(a.aux, a.root)
+}
+
+// SampledTree is T*_{P,Q,ℓ} = T_{P,Q,ℓ}[p] ∪ E(P): the BFS tree with each
+// non-self inter-layer tree edge (levels 2..ℓ) kept independently with
+// probability pr — mirroring Step 2's per-repetition sampling — together
+// with always-kept E(L1, L2) tree edges, root edges, self-copy edges, and
+// the original path edges inside layer 1.
+type SampledTree struct {
+	a    *AuxGraph
+	star *graph.Graph
+}
+
+// SampleStar draws T* using pr as the per-edge, per-level sampling
+// probability. With the odd-diameter construction each level would use two
+// √pr coins; (√pr)² = pr makes the single draw distribution-identical.
+func (a *AuxGraph) SampleStar(pr float64, rng *rand.Rand) *SampledTree {
+	tree := a.BFSTree()
+	b := graph.NewBuilder(a.aux.NumNodes())
+	for v := 0; v < a.aux.NumNodes(); v++ {
+		parent := tree.Parent[v]
+		if parent == -1 {
+			continue
+		}
+		child := graph.NodeID(v)
+		// The child is one layer below the parent (BFS from the root).
+		childLayer := a.Layer(child)
+		keep := false
+		switch {
+		case childLayer >= a.ell+1:
+			keep = true // root edges
+		case childLayer == 1:
+			keep = true // E(L1, L2) is kept with probability 1
+		case a.GraphNode(child) == a.GraphNode(parent):
+			keep = true // self-copy edge
+		default:
+			keep = rng.Float64() < pr
+		}
+		if keep {
+			b.TryAddEdge(child, parent)
+		}
+	}
+	// E(P): consecutive layer-1 nodes are joined iff adjacent in G (P is a
+	// path in G, so they always are).
+	for j := 0; j+1 < len(a.p); j++ {
+		b.TryAddEdge(graph.NodeID(j), graph.NodeID(j+1))
+	}
+	return &SampledTree{a: a, star: b.Build()}
+}
+
+// Star returns the materialized T* graph.
+func (s *SampledTree) Star() *graph.Graph { return s.star }
+
+// WalkDist returns the T*-distance from p_i (0-based index on P) to the
+// nearest of {t} ∪ L_k, where t is the last node of P and k ∈ [2, ℓ+1] —
+// the operational content of Lemma 3.3: w.h.p. this distance is at most
+// (c·kD/N)^{k-2}. Returns -1 if unreachable.
+func (s *SampledTree) WalkDist(i, k int) int32 {
+	res := graph.BFS(s.star, graph.NodeID(i))
+	best := int32(-1)
+	consider := func(d int32) {
+		if d == graph.Unreached {
+			return
+		}
+		if best == -1 || d < best {
+			best = d
+		}
+	}
+	consider(res.Dist[len(s.a.p)-1]) // t
+	a := s.a
+	if k >= 2 && k <= a.ell {
+		base := a.midBase + (k-2)*a.base.NumNodes()
+		for v := 0; v < a.base.NumNodes(); v++ {
+			consider(res.Dist[base+v])
+		}
+	}
+	if k == a.ell+1 {
+		for j := range a.q {
+			consider(res.Dist[a.qBase+j])
+		}
+	}
+	return best
+}
+
+// MaxWalkDist returns the largest WalkDist over all start indices i — the
+// quantity experiment E11 tabulates per level k.
+func (s *SampledTree) MaxWalkDist(k int) int32 {
+	var worst int32
+	for i := range s.a.p {
+		d := s.WalkDist(i, k)
+		if d == -1 {
+			return -1
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,160 @@
+package shortcut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// auxFixture builds a hard instance and an aux graph over one of its paths,
+// with Q = another path's nodes.
+func auxFixture(t *testing.T, seed int64, n, d, ell int) (*gen.HardInstance, *AuxGraph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	hi, err := gen.NewHardInstance(n, d, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hi.Paths) < 2 {
+		t.Fatal("need two paths")
+	}
+	a, err := NewAuxGraph(hi.G, hi.Paths[0], hi.Paths[1], ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hi, a
+}
+
+func TestNewAuxGraphValidation(t *testing.T) {
+	g := gen.Path(10)
+	if _, err := NewAuxGraph(g, []graph.NodeID{0, 1}, []graph.NodeID{9}, 1); err == nil {
+		t.Error("ℓ=1 accepted")
+	}
+	if _, err := NewAuxGraph(g, nil, []graph.NodeID{9}, 3); err == nil {
+		t.Error("empty P accepted")
+	}
+	// dist(0, {9}) = 9 > ℓ = 3 must be rejected.
+	if _, err := NewAuxGraph(g, []graph.NodeID{0, 1}, []graph.NodeID{9}, 3); err == nil {
+		t.Error("distance violation accepted")
+	}
+}
+
+func TestAuxGraphLayerStructure(t *testing.T) {
+	_, a := auxFixture(t, 1, 600, 4, 4)
+	aux := a.Aux()
+	n := aux.NumNodes()
+	// Layer sizes: |P| + (ℓ-1)·n_G + |Q| + 1.
+	wantNodes := a.PathLen() + (a.Ell()-1)*600 // approximate: generator may round n
+	if n < wantNodes {
+		t.Errorf("aux nodes = %d, want at least %d", n, wantNodes)
+	}
+	// Every edge connects consecutive layers (or root to L_{ℓ+1}).
+	for e := 0; e < aux.NumEdges(); e++ {
+		u, v := aux.EdgeEndpoints(graph.EdgeID(e))
+		lu, lv := a.Layer(u), a.Layer(v)
+		if lu > lv {
+			lu, lv = lv, lu
+		}
+		if lv != lu+1 {
+			t.Fatalf("edge {%d,%d} connects layers %d and %d", u, v, lu, lv)
+		}
+	}
+	if a.Layer(a.Root()) != a.Ell()+2 {
+		t.Errorf("root layer = %d, want %d", a.Layer(a.Root()), a.Ell()+2)
+	}
+}
+
+func TestAuxGraphBFSDepth(t *testing.T) {
+	// Each P-node must sit at depth exactly ℓ+1 from the root (the aux graph
+	// fixes all P×Q path lengths to ℓ).
+	_, a := auxFixture(t, 2, 600, 4, 4)
+	tree := a.BFSTree()
+	for j := 0; j < a.PathLen(); j++ {
+		if tree.Dist[j] != int32(a.Ell()+1) {
+			t.Errorf("P-node %d at depth %d, want %d", j, tree.Dist[j], a.Ell()+1)
+		}
+	}
+}
+
+func TestGraphNodeMapping(t *testing.T) {
+	hi, a := auxFixture(t, 3, 600, 4, 4)
+	// Layer-1 nodes map back to path nodes.
+	for j := 0; j < a.PathLen(); j++ {
+		if a.GraphNode(graph.NodeID(j)) != hi.Paths[0][j] {
+			t.Errorf("layer-1 node %d maps to %d, want %d", j, a.GraphNode(graph.NodeID(j)), hi.Paths[0][j])
+		}
+	}
+	if a.GraphNode(a.Root()) != -1 {
+		t.Error("root should map to -1")
+	}
+}
+
+func TestSampleStarFullProbabilityReachesEverything(t *testing.T) {
+	// With pr = 1, T* contains the whole BFS tree: every p_i reaches the
+	// top layer within ℓ+1-1 hops (to Q) regardless of path edges.
+	_, a := auxFixture(t, 4, 600, 4, 4)
+	rng := rand.New(rand.NewSource(5))
+	star := a.SampleStar(1, rng)
+	for i := 0; i < a.PathLen(); i++ {
+		d := star.WalkDist(i, a.Ell()+1)
+		if d < 0 {
+			t.Fatalf("p_%d cannot reach Q in full T*", i)
+		}
+		if d > int32(a.Ell()) {
+			t.Errorf("p_%d reaches Q at dist %d > ℓ", i, d)
+		}
+	}
+}
+
+func TestSampleStarZeroProbabilityStaysLow(t *testing.T) {
+	// With pr = 0, only L1→L2, self-copies, root edges, and path edges
+	// survive. Walks to L2 are still length ≤ 1 (E(L1,L2) kept).
+	_, a := auxFixture(t, 6, 600, 4, 4)
+	rng := rand.New(rand.NewSource(7))
+	star := a.SampleStar(0, rng)
+	if d := star.MaxWalkDist(2); d != 1 {
+		t.Errorf("MaxWalkDist(2) = %d, want 1 (base case of Lemma 3.3)", d)
+	}
+}
+
+func TestLemma33WalkLengthShape(t *testing.T) {
+	// E11 shape at test scale: with sampling probability p per level, the
+	// distance from any p_i to {t} ∪ L_k should grow roughly like (c/p)^(k-2)
+	// and, crucially, stay finite and far below |P| for k ≤ ℓ+1 w.h.p.
+	_, a := auxFixture(t, 8, 1000, 4, 4)
+	n := 1000.0
+	pr := math.Log(n) / math.Pow(n, 1.0/3.0) // paper's p for D=4
+	rng := rand.New(rand.NewSource(9))
+	star := a.SampleStar(pr, rng)
+	prev := int32(1)
+	for k := 2; k <= a.Ell()+1; k++ {
+		d := star.MaxWalkDist(k)
+		if d < 0 {
+			t.Fatalf("level %d unreachable", k)
+		}
+		if d < prev {
+			// Distances to higher layers cannot be shorter than to lower
+			// ones by more than the path-edge slack; tolerate equality.
+			if prev-d > 2 {
+				t.Errorf("walk distance decreased sharply: level %d is %d after %d", k, d, prev)
+			}
+		}
+		bound := math.Pow(4/pr, float64(k-2)) + 4
+		if float64(d) > bound {
+			t.Errorf("level %d walk distance %d above Lemma 3.3 shape %f", k, d, bound)
+		}
+		prev = d
+	}
+}
+
+func TestSampleStarDeterministic(t *testing.T) {
+	_, a := auxFixture(t, 10, 600, 4, 4)
+	s1 := a.SampleStar(0.3, rand.New(rand.NewSource(11)))
+	s2 := a.SampleStar(0.3, rand.New(rand.NewSource(11)))
+	if s1.Star().NumEdges() != s2.Star().NumEdges() {
+		t.Error("same seed produced different T*")
+	}
+}

@@ -1,0 +1,190 @@
+package shortcut
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// The paper leaves two directions open (Section 1): derandomizing the
+// construction, and reducing the message complexity from ˜O(m·kD) toward
+// ˜O(m). The two variants below explore those directions experimentally;
+// neither carries the paper's w.h.p. dilation guarantee (their dilation is
+// measured by experiments A4/A5), but both preserve Step 1 and hence always
+// produce connected augmented parts.
+
+// BuildDeterministic is a derandomized analogue of the construction: instead
+// of Bernoulli(p) draws, every directed arc joins exactly ⌈p·N'⌉ large parts
+// per repetition, chosen by a fixed multiplicative-hash offset and stride.
+// Congestion is then bounded deterministically (each arc contributes to at
+// most Reps·⌈p·N'⌉ parts by construction); dilation loses its probabilistic
+// guarantee and is evaluated empirically (experiment A4).
+func BuildDeterministic(g *graph.Graph, p *Partition, opts Options) (*Shortcuts, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("shortcut: empty graph")
+	}
+	d := opts.Diameter
+	if d == 0 {
+		lo, _ := graph.DiameterBounds(g)
+		d = int(lo)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("shortcut: diameter %d < 1", d)
+	}
+	params := DeriveParams(n, d, opts.Reps, opts.LogFactor)
+	sc := &Shortcuts{
+		P:      p,
+		H:      make([][]graph.EdgeID, p.NumParts()),
+		Params: params,
+	}
+	large := p.LargeParts(int(params.KD))
+	if len(large) == 0 {
+		return sc, nil
+	}
+	his := make([]*graph.Bitset, len(large))
+	for i := range his {
+		his[i] = graph.NewBitset(g.NumEdges())
+	}
+	largeIdxOf := make([]int32, p.NumParts())
+	for i := range largeIdxOf {
+		largeIdxOf[i] = -1
+	}
+	for li, pi := range large {
+		largeIdxOf[pi] = int32(li)
+	}
+	for li, pi := range large {
+		for _, u := range p.Part(pi).Nodes {
+			lo, hi := g.ArcRange(u)
+			for a := lo; a < hi; a++ {
+				his[li].Set(g.ArcEdge(a))
+			}
+		}
+	}
+	// Per (arc, rep): join a block of `take` consecutive part slots starting
+	// at a hash offset — a contiguous block guarantees exactly `take`
+	// distinct parts regardless of the modulus.
+	numLarge := len(large)
+	take := int(math.Ceil(params.P * float64(numLarge)))
+	if take > numLarge {
+		take = numLarge
+	}
+	const (
+		mixA = 0x9E3779B97F4A7C15 // golden-ratio mixing constants
+		mixB = 0xBF58476D1CE4E5B9
+	)
+	for u := 0; u < n; u++ {
+		uPart := p.PartOf(graph.NodeID(u))
+		uLarge := int32(-1)
+		if uPart >= 0 {
+			uLarge = largeIdxOf[uPart]
+		}
+		lo, hi := g.ArcRange(graph.NodeID(u))
+		for a := lo; a < hi; a++ {
+			e := g.ArcEdge(a)
+			for r := 0; r < params.Reps; r++ {
+				h := (uint64(a)*mixA + uint64(r)*mixB) >> 1
+				li := int32(h % uint64(numLarge))
+				for t := 0; t < take; t++ {
+					if li != uLarge {
+						his[li].Set(e)
+					}
+					li = (li + 1) % int32(numLarge)
+				}
+			}
+		}
+	}
+	for li, pi := range large {
+		edges := make([]graph.EdgeID, 0, his[li].Count())
+		his[li].ForEach(func(e int32) { edges = append(edges, e) })
+		sc.H[pi] = edges
+	}
+	return sc, nil
+}
+
+// LocalOptions configures BuildLocal.
+type LocalOptions struct {
+	// Options carries the shared construction parameters; Rng is required.
+	Options
+	// Radius restricts Step 2's sampling to nodes within this many hops of
+	// the part (0 selects ⌈D/2⌉ — the horizon the dilation argument's
+	// shortcut trees actually traverse).
+	Radius int
+}
+
+// BuildLocal is the message-efficient variant: Step 2's sampling is
+// restricted to nodes within Radius hops of each part, so edges far from Si
+// — which the dilation argument's D/2-layer shortcut trees can never use —
+// are not sampled into Hi. Total shortcut size Σ|Hi| (the message-complexity
+// driver) drops correspondingly; experiment A5 measures the quality impact.
+func BuildLocal(g *graph.Graph, p *Partition, opts LocalOptions) (*Shortcuts, error) {
+	if opts.Rng == nil {
+		return nil, fmt.Errorf("shortcut: LocalOptions.Rng is required")
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("shortcut: empty graph")
+	}
+	d := opts.Diameter
+	if d == 0 {
+		lo, _ := graph.DiameterBounds(g)
+		d = int(lo)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("shortcut: diameter %d < 1", d)
+	}
+	radius := opts.Radius
+	if radius <= 0 {
+		radius = (d + 1) / 2
+	}
+	params := DeriveParams(n, d, opts.Reps, opts.LogFactor)
+	sc := &Shortcuts{
+		P:      p,
+		H:      make([][]graph.EdgeID, p.NumParts()),
+		Params: params,
+	}
+	large := p.LargeParts(int(params.KD))
+	if len(large) == 0 {
+		return sc, nil
+	}
+	his := make([]*graph.Bitset, len(large))
+	for li, pi := range large {
+		his[li] = graph.NewBitset(g.NumEdges())
+		for _, u := range p.Part(pi).Nodes {
+			lo, hi := g.ArcRange(u)
+			for a := lo; a < hi; a++ {
+				his[li].Set(g.ArcEdge(a))
+			}
+		}
+	}
+	// Per large part: restrict sampling to arcs whose tail is within radius
+	// of the part (multi-source truncated BFS).
+	for li, pi := range large {
+		ball := graph.MultiSourceBFS(g, p.Part(pi).Nodes)
+		for u := 0; u < n; u++ {
+			if ball.Dist[u] == graph.Unreached || ball.Dist[u] > int32(radius) {
+				continue
+			}
+			if p.PartOf(graph.NodeID(u)) == int32(pi) {
+				continue // Step 2 samples only from nodes outside Si
+			}
+			lo, hi := g.ArcRange(graph.NodeID(u))
+			for a := lo; a < hi; a++ {
+				e := g.ArcEdge(a)
+				for r := 0; r < params.Reps; r++ {
+					if opts.Rng.Float64() < params.P {
+						his[li].Set(e)
+						break // already in Hi; further repetitions are moot
+					}
+				}
+			}
+		}
+	}
+	for li, pi := range large {
+		edges := make([]graph.EdgeID, 0, his[li].Count())
+		his[li].ForEach(func(e int32) { edges = append(edges, e) })
+		sc.H[pi] = edges
+	}
+	return sc, nil
+}

@@ -1,0 +1,150 @@
+package shortcut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBuildDeterministicNoRandomness(t *testing.T) {
+	// Two runs with *different* RNGs must produce identical output — the
+	// construction ignores randomness entirely.
+	hi, err := gen.NewHardInstance(1000, 4, 0, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustPartition(t, hi.G, hi.Paths)
+	s1, err := BuildDeterministic(hi.G, p, Options{Diameter: 4, LogFactor: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildDeterministic(hi.G, p, Options{Diameter: 4, LogFactor: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1.H {
+		if len(s1.H[i]) != len(s2.H[i]) {
+			t.Fatalf("part %d: %d vs %d edges", i, len(s1.H[i]), len(s2.H[i]))
+		}
+		for j := range s1.H[i] {
+			if s1.H[i][j] != s2.H[i][j] {
+				t.Fatalf("part %d edge %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministicQualityComparable(t *testing.T) {
+	hi, err := gen.NewHardInstance(1500, 4, 0, 0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustPartition(t, hi.G, hi.Paths)
+	det, err := BuildDeterministic(hi.G, p, Options{Diameter: 4, LogFactor: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq, err := det.Dilation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := Build(hi.G, p, Options{Diameter: 4, LogFactor: 0.3, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := ran.Dilation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The derandomized variant should land in the same quality regime.
+	if dq.Sum() > 3*rq.Sum() {
+		t.Errorf("deterministic quality %d far above randomized %d", dq.Sum(), rq.Sum())
+	}
+	// ... and its per-arc contribution is capped by construction, so the
+	// congestion cannot exceed the randomized Chernoff bound scale.
+	n := float64(hi.G.NumNodes())
+	bound := 2*float64(det.Params.Reps)*math.Ceil(det.Params.P*float64(len(p.LargeParts(int(det.Params.KD))))) + 2
+	_ = n
+	if float64(dq.Congestion) > bound {
+		t.Errorf("deterministic congestion %d above structural cap %f", dq.Congestion, bound)
+	}
+}
+
+func TestBuildLocalReducesShortcutSize(t *testing.T) {
+	hi, err := gen.NewHardInstance(1500, 6, 0, 0, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustPartition(t, hi.G, hi.Paths)
+	full, err := Build(hi.G, p, Options{Diameter: 6, LogFactor: 0.3, Rng: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := BuildLocal(hi.G, p, LocalOptions{
+		Options: Options{Diameter: 6, LogFactor: 0.3, Rng: rand.New(rand.NewSource(5))},
+		Radius:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.TotalShortcutEdges() >= full.TotalShortcutEdges() {
+		t.Errorf("local Σ|Hi| = %d not below full %d",
+			local.TotalShortcutEdges(), full.TotalShortcutEdges())
+	}
+	// Quality must stay in the same regime despite the restriction.
+	fq, err := full.Dilation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq, err := local.Dilation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lq.Sum() > 3*fq.Sum() {
+		t.Errorf("local quality %d far above full %d", lq.Sum(), fq.Sum())
+	}
+}
+
+func TestBuildLocalStep1Retained(t *testing.T) {
+	hi, err := gen.NewHardInstance(800, 4, 0, 0, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustPartition(t, hi.G, hi.Paths)
+	s, err := BuildLocal(hi.G, p, LocalOptions{
+		Options: Options{Diameter: 4, LogFactor: 0.1, Rng: rand.New(rand.NewSource(7))},
+		Radius:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd := int(s.Params.KD)
+	for i := 0; i < p.NumParts(); i++ {
+		if len(p.Part(i).Nodes) <= kd {
+			continue
+		}
+		inH := graph.NewBitset(hi.G.NumEdges())
+		for _, e := range s.H[i] {
+			inH.Set(e)
+		}
+		for _, u := range p.Part(i).Nodes {
+			lo, hiArc := hi.G.ArcRange(u)
+			for a := lo; a < hiArc; a++ {
+				if !inH.Has(hi.G.ArcEdge(a)) {
+					t.Fatalf("part %d: incident edge of %d missing", i, u)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildLocalRequiresRng(t *testing.T) {
+	g := gen.Path(4)
+	p := mustPartition(t, g, [][]graph.NodeID{{0, 1}})
+	if _, err := BuildLocal(g, p, LocalOptions{}); err == nil {
+		t.Error("missing Rng accepted")
+	}
+}

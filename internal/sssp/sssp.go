@@ -1,0 +1,108 @@
+// Package sssp implements single-source shortest path algorithms: exact
+// Dijkstra (oracle), a CONGEST-simulated distributed Bellman–Ford baseline,
+// and a shortcut-tree approximate SSSP demonstrating the reduction shape of
+// Corollary 4.2 — rounds proportional to the shortcut quality rather than
+// to the hop depth of the shortest-path tree. The full [HL18] machinery is
+// out of scope (see DESIGN.md substitutions); stretch is measured against
+// the exact oracle.
+package sssp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Infinite marks unreachable nodes in distance arrays.
+var Infinite = math.Inf(1)
+
+// Dijkstra computes exact shortest-path distances from src.
+func Dijkstra(g *graph.Graph, w graph.Weights, src graph.NodeID) ([]float64, error) {
+	if err := w.Validate(g); err != nil {
+		return nil, fmt.Errorf("sssp: %w", err)
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Infinite
+	}
+	dist[src] = 0
+	h := &nodeHeap{}
+	h.push(heapEntry{node: src, dist: 0})
+	for h.len() > 0 {
+		cur := h.pop()
+		if cur.dist > dist[cur.node] {
+			continue
+		}
+		g.Arcs(cur.node, func(_ int32, v graph.NodeID, e graph.EdgeID) bool {
+			if nd := cur.dist + w[e]; nd < dist[v] {
+				dist[v] = nd
+				h.push(heapEntry{node: v, dist: nd})
+			}
+			return true
+		})
+	}
+	return dist, nil
+}
+
+type heapEntry struct {
+	node graph.NodeID
+	dist float64
+}
+
+type nodeHeap struct{ items []heapEntry }
+
+func (h *nodeHeap) len() int { return len(h.items) }
+
+func (h *nodeHeap) push(e heapEntry) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[i].dist >= h.items[p].dist {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() heapEntry {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.items) && h.items[l].dist < h.items[m].dist {
+			m = l
+		}
+		if r < len(h.items) && h.items[r].dist < h.items[m].dist {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return top
+}
+
+// Stretch returns the largest ratio approx[v]/exact[v] over reachable
+// non-source nodes — the approximation quality of an SSSP result.
+func Stretch(exact, approx []float64) float64 {
+	worst := 1.0
+	for v := range exact {
+		if exact[v] == 0 || math.IsInf(exact[v], 1) {
+			continue
+		}
+		if r := approx[v] / exact[v]; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,155 @@
+package twoecss
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func allEdges(g *graph.Graph) []graph.EdgeID {
+	edges := make([]graph.EdgeID, g.NumEdges())
+	for e := range edges {
+		edges[e] = graph.EdgeID(e)
+	}
+	return edges
+}
+
+func TestBridgesPath(t *testing.T) {
+	g := gen.Path(5)
+	bridges := Bridges(g, allEdges(g))
+	if len(bridges) != 4 {
+		t.Errorf("path bridges = %d, want 4 (all edges)", len(bridges))
+	}
+}
+
+func TestBridgesCycle(t *testing.T) {
+	g := gen.Cycle(6)
+	if bridges := Bridges(g, allEdges(g)); len(bridges) != 0 {
+		t.Errorf("cycle bridges = %d, want 0", len(bridges))
+	}
+}
+
+func TestBridgesDumbbell(t *testing.T) {
+	// Two triangles joined by a single edge: exactly one bridge.
+	b := graph.NewBuilder(6)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	bridges := Bridges(g, allEdges(g))
+	if len(bridges) != 1 {
+		t.Fatalf("bridges = %d, want 1", len(bridges))
+	}
+	u, v := g.EdgeEndpoints(bridges[0])
+	if !(u == 2 && v == 3) {
+		t.Errorf("bridge = {%d,%d}, want {2,3}", u, v)
+	}
+}
+
+func TestBridgesSubsetOfEdges(t *testing.T) {
+	// Cycle graph but only a path subset of its edges: all subset edges are
+	// bridges of the subgraph.
+	g := gen.Cycle(5)
+	sub := allEdges(g)[:3]
+	if bridges := Bridges(g, sub); len(bridges) != 3 {
+		t.Errorf("subset bridges = %d, want 3", len(bridges))
+	}
+}
+
+func TestIsTwoEdgeConnected(t *testing.T) {
+	cyc := gen.Cycle(5)
+	if !IsTwoEdgeConnected(cyc, allEdges(cyc)) {
+		t.Error("cycle should be 2-edge-connected")
+	}
+	path := gen.Path(5)
+	if IsTwoEdgeConnected(path, allEdges(path)) {
+		t.Error("path should not be 2-edge-connected")
+	}
+	// Disconnected subgraph.
+	if IsTwoEdgeConnected(cyc, allEdges(cyc)[:2]) {
+		t.Error("partial edge set should fail (disconnected)")
+	}
+}
+
+func TestApproxOnCycle(t *testing.T) {
+	// The cycle itself is the unique 2-ECSS: Approx must return all edges.
+	g := gen.Cycle(8)
+	rng := rand.New(rand.NewSource(1))
+	w := graph.NewUniformWeights(g.NumEdges(), rng)
+	res, err := Approx(g, w, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 8 {
+		t.Errorf("edges = %d, want 8", len(res.Edges))
+	}
+	if res.Ratio() < 1 {
+		t.Errorf("ratio = %f < 1", res.Ratio())
+	}
+}
+
+func TestApproxRandom2EC(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		// ER with enough density to be 2-edge-connected w.h.p.; skip if not.
+		g := gen.ErdosRenyi(60, 0.12, rng)
+		if len(Bridges(g, allEdges(g))) > 0 {
+			continue
+		}
+		w := graph.NewUniformWeights(g.NumEdges(), rng)
+		res, err := Approx(g, w, Options{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsTwoEdgeConnected(g, res.Edges) {
+			t.Fatal("result is not 2-edge-connected")
+		}
+		if res.Weight < res.LowerBound {
+			t.Errorf("weight %f below lower bound %f", res.Weight, res.LowerBound)
+		}
+		// Greedy MST+cover stays well below 3x the MST lower bound.
+		if res.Ratio() > 3 {
+			t.Errorf("ratio = %f above 3", res.Ratio())
+		}
+	}
+}
+
+func TestApproxRejectsBridgedGraph(t *testing.T) {
+	g := gen.Path(5)
+	rng := rand.New(rand.NewSource(3))
+	w := graph.NewUniformWeights(g.NumEdges(), rng)
+	if _, err := Approx(g, w, Options{Rng: rng}); err == nil {
+		t.Error("bridged graph accepted")
+	}
+}
+
+func TestApproxDistributedAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.ErdosRenyi(80, 0.1, rng)
+	if len(Bridges(g, allEdges(g))) > 0 {
+		t.Skip("sampled graph not 2-edge-connected")
+	}
+	w := graph.NewUniformWeights(g.NumEdges(), rng)
+	res, err := Approx(g, w, Options{Rng: rng, Distributed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 || res.Messages <= 0 {
+		t.Errorf("accounting missing: %+v", res)
+	}
+	if !IsTwoEdgeConnected(g, res.Edges) {
+		t.Error("result not 2-edge-connected")
+	}
+}
+
+func TestApproxRequiresRng(t *testing.T) {
+	g := gen.Cycle(4)
+	w := graph.NewUnitWeights(g.NumEdges())
+	if _, err := Approx(g, w, Options{}); err == nil {
+		t.Error("missing Rng accepted")
+	}
+}
