@@ -213,8 +213,48 @@ func TwoECSS(g *Graph, w Weights, opts TwoECSSOptions) (*TwoECSSResult, error) {
 // CongestStats aggregates simulated rounds and messages.
 type CongestStats = congest.Stats
 
-// RunSequential and RunGoroutines are the two CONGEST engines, exposed for
-// users who want to run their own Programs (see internal/congest docs).
+// The CONGEST node-programming vocabulary, re-exported so external modules
+// can implement their own Programs against RunCongest (the internal package
+// rule forbids importing repro/internal/congest directly).
+type (
+	// CongestMessage is one O(log n)-bit message: a kind tag plus three words.
+	CongestMessage = congest.Message
+	// CongestInbound is a delivered message tagged with arrival port/sender.
+	CongestInbound = congest.Inbound
+	// CongestView is a node's local view of the network.
+	CongestView = congest.View
+	// CongestOutbox stages one round's sends for a node.
+	CongestOutbox = congest.Outbox
+	// CongestProgram is the behavior of one node.
+	CongestProgram = congest.Program
+	// CongestFactory creates the program for one node.
+	CongestFactory = congest.Factory
+)
+
+// CongestOptions configures the unified CONGEST engine: Workers selects the
+// execution mode (0/1 = deterministic sequential, k > 1 = sharded pool of k
+// workers, negative = one worker per CPU) and MaxRounds bounds a run. All
+// modes produce bit-for-bit identical outputs and stats on error-free runs.
+type CongestOptions = congest.Options
+
+// CongestEngine executes CONGEST Programs; build one with NewCongestEngine.
+type CongestEngine = congest.Engine
+
+// NewCongestEngine returns the engine selected by opts.
+func NewCongestEngine(opts CongestOptions) CongestEngine { return congest.NewEngine(opts) }
+
+// RunCongest executes one Program per node of g on the unified CONGEST
+// engine, for users who want to run their own Programs (see internal/congest
+// docs).
+func RunCongest(g *Graph, factory CongestFactory, opts CongestOptions) (CongestStats, []CongestProgram, error) {
+	return congest.Run(g, factory, opts)
+}
+
+// RunSequential and RunGoroutines are the seed's two engine entry points.
+//
+// Deprecated: both now delegate to the unified flat-buffer engine; use
+// RunCongest (Workers 0 replaces RunSequential, Workers -1 replaces
+// RunGoroutines).
 var (
 	RunSequential = congest.RunSequential
 	RunGoroutines = congest.RunGoroutines

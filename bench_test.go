@@ -60,15 +60,16 @@ func BenchmarkA3Engines(b *testing.B) {
 	g := gen.ErdosRenyi(2000, 0.002, rng)
 	for _, eng := range []struct {
 		name string
-		run  congest.Runner
+		opts congest.Options
 	}{
-		{"sequential", congest.RunSequential},
-		{"goroutines", congest.RunGoroutines},
+		{"sequential", congest.Options{MaxRounds: 1 << 20}},
+		{"pool", congest.Options{Workers: -1, MaxRounds: 1 << 20}},
 	} {
 		b.Run(eng.name, func(b *testing.B) {
+			engine := congest.NewEngine(eng.opts)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := congest.RunBFS(g, 0, eng.run, 1<<20); err != nil {
+				if _, _, err := congest.RunBFS(g, 0, engine); err != nil {
 					b.Fatal(err)
 				}
 			}

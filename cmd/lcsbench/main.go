@@ -68,6 +68,8 @@ func run(args []string) error {
 		logFactor = fs.Float64("logfactor", 0.3, "sampling probability log-term scale")
 		quick     = fs.Bool("quick", false, "reduced sweeps")
 		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		engine    = fs.String("engine", "sequential", "CONGEST engine for simulated experiments: sequential, pool (one worker per CPU), or a worker count")
+		jsonOut   = fs.Bool("json", false, "emit all tables as a JSON array (overrides -csv)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: lcsbench [flags] <experiment>")
@@ -95,6 +97,9 @@ func run(args []string) error {
 		Quick:     *quick,
 	}
 	var err error
+	if cfg.Workers, err = parseEngine(*engine); err != nil {
+		return fmt.Errorf("-engine: %w", err)
+	}
 	if cfg.Sizes, err = parseInts(*sizes); err != nil {
 		return fmt.Errorf("-sizes: %w", err)
 	}
@@ -126,10 +131,15 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("unknown experiment %q", target)
 	}
+	var tables []*expt.Table
 	for _, e := range selected {
 		tbl, err := e.run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		if *jsonOut {
+			tables = append(tables, tbl)
+			continue
 		}
 		if *csv {
 			tbl.CSV(os.Stdout)
@@ -137,7 +147,27 @@ func run(args []string) error {
 			tbl.Fprint(os.Stdout)
 		}
 	}
+	if *jsonOut {
+		return expt.WriteJSON(os.Stdout, tables)
+	}
 	return nil
+}
+
+// parseEngine maps the -engine flag to a congest.Options.Workers value:
+// "sequential" → 0, "pool" → one worker per CPU, an integer → that many
+// workers.
+func parseEngine(s string) (int, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "sequential", "seq":
+		return 0, nil
+	case "pool", "parallel":
+		return -1, nil
+	}
+	w, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("want sequential, pool, or a worker count, got %q", s)
+	}
+	return w, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -42,7 +42,7 @@ func (b *broadcastNode) Done() bool { return true }
 // RunTreeBroadcast sends value from the tree root to every tree node in
 // O(depth) rounds and returns the per-node received values (the root's value
 // where reached; 0 where the tree does not reach).
-func RunTreeBroadcast(g *graph.Graph, tree *Tree, value int64, run Runner, maxRounds int) ([]int64, Stats, error) {
+func RunTreeBroadcast(g *graph.Graph, tree *Tree, value int64, eng Engine) ([]int64, Stats, error) {
 	factory := func(v *View) Program {
 		return &broadcastNode{
 			isRoot:     v.ID() == tree.Root,
@@ -50,7 +50,7 @@ func RunTreeBroadcast(g *graph.Graph, tree *Tree, value int64, run Runner, maxRo
 			value:      value,
 		}
 	}
-	stats, progs, err := run(g, factory, maxRounds)
+	stats, progs, err := eng.Run(g, factory)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -67,7 +67,7 @@ func RunTreeBroadcast(g *graph.Graph, tree *Tree, value int64, run Runner, maxRo
 // RunForestSum convergecasts per-node values up a forest (e.g. the disjoint
 // part trees produced by RunPartBFS) and returns the per-node subtree totals;
 // entry r is the full component total exactly when r is a forest root.
-func RunForestSum(g *graph.Graph, f *Forest, values []int64, run Runner, maxRounds int) ([]int64, Stats, error) {
+func RunForestSum(g *graph.Graph, f *Forest, values []int64, eng Engine) ([]int64, Stats, error) {
 	factory := func(v *View) Program {
 		return &aggNode{
 			parentPort: f.ParentPort[v.ID()],
@@ -75,7 +75,7 @@ func RunForestSum(g *graph.Graph, f *Forest, values []int64, run Runner, maxRoun
 			value:      values[v.ID()],
 		}
 	}
-	stats, progs, err := run(g, factory, maxRounds)
+	stats, progs, err := eng.Run(g, factory)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -120,11 +120,11 @@ func (r *reachNode) Done() bool { return true }
 // reached node discover whether it has an unreached neighbor in its own part
 // (used for the paper's "is the truncated BFS tree spanning Si?" checks).
 // It returns the per-node boundary flags.
-func RunReachExchange(g *graph.Graph, leaderOf []graph.NodeID, reached []bool, run Runner, maxRounds int) ([]bool, Stats, error) {
+func RunReachExchange(g *graph.Graph, leaderOf []graph.NodeID, reached []bool, eng Engine) ([]bool, Stats, error) {
 	factory := func(v *View) Program {
 		return &reachNode{leader: int64(leaderOf[v.ID()]), reached: reached[v.ID()]}
 	}
-	stats, progs, err := run(g, factory, maxRounds)
+	stats, progs, err := eng.Run(g, factory)
 	if err != nil {
 		return nil, stats, err
 	}

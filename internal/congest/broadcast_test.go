@@ -11,13 +11,13 @@ import (
 func TestRunTreeBroadcast(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := gen.ErdosRenyi(50, 0.08, rng)
-	tree, _, err := RunBFS(g, 5, RunSequential, 1000)
+	tree, _, err := RunBFS(g, 5, seq(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range runners {
+	for _, r := range engines(1000) {
 		t.Run(r.name, func(t *testing.T) {
-			vals, stats, err := RunTreeBroadcast(g, tree, 777, r.run, 1000)
+			vals, stats, err := RunTreeBroadcast(g, tree, 777, r.eng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -45,12 +45,12 @@ func TestRunTreeBroadcastPartialTree(t *testing.T) {
 	g := b.Build()
 	// Build the tree over component {0,1} only.
 	leaderOf := []graph.NodeID{0, 0, 2, 2}
-	forest, _, err := RunPartBFS(g, leaderOf, -1, RunSequential, 100)
+	forest, _, err := RunPartBFS(g, leaderOf, -1, seq(100))
 	if err != nil {
 		t.Fatal(err)
 	}
 	tree := &Tree{Root: 0, Dist: forest.Dist, ParentPort: forest.ParentPort, ChildPorts: forest.ChildPorts}
-	vals, _, err := RunTreeBroadcast(g, tree, 9, RunSequential, 100)
+	vals, _, err := RunTreeBroadcast(g, tree, 9, seq(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestRunForestSum(t *testing.T) {
 	for v := 4; v < 8; v++ {
 		leaderOf[v] = 7
 	}
-	forest, _, err := RunPartBFS(g, leaderOf, -1, RunSequential, 100)
+	forest, _, err := RunPartBFS(g, leaderOf, -1, seq(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestRunForestSum(t *testing.T) {
 	for v := range values {
 		values[v] = int64(v + 1) // 1..8
 	}
-	totals, _, err := RunForestSum(g, forest, values, RunSequential, 100)
+	totals, _, err := RunForestSum(g, forest, values, seq(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,9 +101,9 @@ func TestRunReachExchange(t *testing.T) {
 	g := gen.Path(5)
 	leaderOf := []graph.NodeID{4, 4, 4, 4, 4}
 	reached := []bool{true, true, true, false, false}
-	for _, r := range runners {
+	for _, r := range engines(100) {
 		t.Run(r.name, func(t *testing.T) {
-			flags, stats, err := RunReachExchange(g, leaderOf, reached, r.run, 100)
+			flags, stats, err := RunReachExchange(g, leaderOf, reached, r.eng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -126,7 +126,7 @@ func TestRunReachExchangeCrossPartIgnored(t *testing.T) {
 	g := gen.Path(4)
 	leaderOf := []graph.NodeID{1, 1, 3, 3}
 	reached := []bool{true, true, false, false}
-	flags, _, err := RunReachExchange(g, leaderOf, reached, RunSequential, 100)
+	flags, _, err := RunReachExchange(g, leaderOf, reached, seq(100))
 	if err != nil {
 		t.Fatal(err)
 	}

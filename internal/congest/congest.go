@@ -9,11 +9,15 @@
 // machine words) and counts the two quantities the paper's theorems bound:
 // rounds and total messages.
 //
-// Two engines execute the same Program semantics: a deterministic sequential
-// lock-step engine (RunSequential, used by benchmarks) and a goroutine-per-
-// node engine with per-round barriers (RunGoroutines, exercising Go's
-// natural fit for round-based message passing). Ablation A3 asserts they
-// produce identical results.
+// A single Engine (see NewEngine and Options) executes Program semantics in
+// two modes sharing one flat-buffer delivery path: a deterministic
+// single-goroutine lock-step mode (Workers ≤ 1) and a sharded worker pool
+// (Workers > 1) with per-round barriers. Because CONGEST permits at most one
+// message per directed arc per round, delivery is a direct write into a
+// per-arc slot (slot graph.ArcReverse(a) for a send on arc a) guarded by an
+// occupancy byte: no sorting, no per-delivery allocation, and inbox
+// iteration in CSR port order — deterministic by construction, identical
+// across modes and worker counts. Ablation A3 asserts the equivalence.
 package congest
 
 import (
@@ -73,11 +77,19 @@ func (v *View) Edge(p int) graph.EdgeID { return v.g.ArcEdge(v.lo + int32(p)) }
 // Outbox stages the messages a node sends during one round. Sending twice on
 // the same port within a round violates the CONGEST bandwidth constraint and
 // causes the engine to abort with ErrBandwidth.
+//
+// Send writes straight into the engine's next-round arc slot at the receiver
+// (slot ArcReverse(arc) for the sender's arc): because each directed arc has
+// exactly one sender, the slot's occupancy byte doubles as the duplicate-send
+// check, and no staging buffer or per-message allocation exists at all.
 type Outbox struct {
-	ports []int
-	msgs  []Message
-	used  map[int]struct{}
-	err   error
+	node   graph.NodeID
+	lo, hi int32 // arc range of the current node
+	rev    []int32
+	msgs   []Message // next-round slot buffer, indexed by receiver-side arc
+	occ    []uint8   // occupancy of msgs
+	sent   int64
+	err    error
 }
 
 // ErrBandwidth is reported when a program sends two messages over one edge in
@@ -86,13 +98,23 @@ var ErrBandwidth = errors.New("congest: two messages on one port in one round")
 
 // Send stages a message on local port p.
 func (o *Outbox) Send(p int, m Message) {
-	if _, dup := o.used[p]; dup {
-		o.err = fmt.Errorf("%w (port %d)", ErrBandwidth, p)
+	if p < 0 || p >= int(o.hi-o.lo) {
+		if o.err == nil {
+			o.err = fmt.Errorf("congest: node %d sent on invalid port %d", o.node, p)
+		}
 		return
 	}
-	o.used[p] = struct{}{}
-	o.ports = append(o.ports, p)
-	o.msgs = append(o.msgs, m)
+	a := o.lo + int32(p)
+	back := o.rev[a]
+	if o.occ[back] != 0 {
+		if o.err == nil {
+			o.err = fmt.Errorf("%w (port %d)", ErrBandwidth, p)
+		}
+		return
+	}
+	o.occ[back] = 1
+	o.msgs[back] = m
+	o.sent++
 }
 
 // Broadcast stages the same message on every port of the node.
@@ -102,12 +124,9 @@ func (o *Outbox) Broadcast(v *View, m Message) {
 	}
 }
 
-func (o *Outbox) reset() {
-	o.ports = o.ports[:0]
-	o.msgs = o.msgs[:0]
-	for k := range o.used {
-		delete(o.used, k)
-	}
+// bind points the outbox at one node for the current round.
+func (o *Outbox) bind(node graph.NodeID, lo, hi int32) {
+	o.node, o.lo, o.hi = node, lo, hi
 }
 
 // Program is the behavior of one node. The engine calls Init once (round 0,

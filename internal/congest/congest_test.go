@@ -9,21 +9,33 @@ import (
 	"repro/internal/graph"
 )
 
-var runners = []struct {
+// seq returns the deterministic single-goroutine engine.
+func seq(maxRounds int) Engine { return NewEngine(Options{MaxRounds: maxRounds}) }
+
+// engines lists the execution modes every primitive test runs under: the
+// sequential path, a shard-per-CPU pool, and an intentionally odd shard
+// count (shard boundaries cutting through message traffic).
+func engines(maxRounds int) []struct {
 	name string
-	run  Runner
-}{
-	{"sequential", RunSequential},
-	{"goroutines", RunGoroutines},
+	eng  Engine
+} {
+	return []struct {
+		name string
+		eng  Engine
+	}{
+		{"sequential", seq(maxRounds)},
+		{"pool", NewEngine(Options{Workers: -1, MaxRounds: maxRounds})},
+		{"pool3", NewEngine(Options{Workers: 3, MaxRounds: maxRounds})},
+	}
 }
 
 func TestRunBFSMatchesCentralized(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := gen.ErdosRenyi(80, 0.05, rng)
 	want := graph.BFS(g, 3)
-	for _, r := range runners {
+	for _, r := range engines(1000) {
 		t.Run(r.name, func(t *testing.T) {
-			tree, stats, err := RunBFS(g, 3, r.run, 1000)
+			tree, stats, err := RunBFS(g, 3, r.eng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -47,7 +59,7 @@ func TestRunBFSMatchesCentralized(t *testing.T) {
 func TestRunBFSChildPortsConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := gen.ErdosRenyi(50, 0.08, rng)
-	tree, _, err := RunBFS(g, 0, RunSequential, 1000)
+	tree, _, err := RunBFS(g, 0, seq(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,9 +82,9 @@ func TestRunBFSChildPortsConsistent(t *testing.T) {
 func TestRunMaxFlood(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := gen.ErdosRenyi(60, 0.06, rng)
-	for _, r := range runners {
+	for _, r := range engines(1000) {
 		t.Run(r.name, func(t *testing.T) {
-			res, _, err := RunMaxFlood(g, r.run, 1000)
+			res, _, err := RunMaxFlood(g, r.eng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -101,9 +113,9 @@ func TestRunPartBFS(t *testing.T) {
 	for v := 0; v < 12; v++ {
 		leaderOf[v] = graph.NodeID((v/4)*4 + 3)
 	}
-	for _, r := range runners {
+	for _, r := range engines(1000) {
 		t.Run(r.name, func(t *testing.T) {
-			forest, _, err := RunPartBFS(g, leaderOf, -1, r.run, 1000)
+			forest, _, err := RunPartBFS(g, leaderOf, -1, r.eng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -123,7 +135,7 @@ func TestRunPartBFSTruncation(t *testing.T) {
 	for v := range leaderOf {
 		leaderOf[v] = 9 // one part: whole path, rooted at the far end
 	}
-	forest, _, err := RunPartBFS(g, leaderOf, 3, RunSequential, 1000)
+	forest, _, err := RunPartBFS(g, leaderOf, 3, seq(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +153,7 @@ func TestRunPartBFSTruncation(t *testing.T) {
 func TestRunEnumerate(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	g := gen.ErdosRenyi(40, 0.1, rng)
-	tree, _, err := RunBFS(g, 0, RunSequential, 1000)
+	tree, _, err := RunBFS(g, 0, seq(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,9 +165,9 @@ func TestRunEnumerate(t *testing.T) {
 			wantMarked++
 		}
 	}
-	for _, r := range runners {
+	for _, r := range engines(1000) {
 		t.Run(r.name, func(t *testing.T) {
-			res, _, err := RunEnumerate(g, tree, marked, r.run, 1000)
+			res, _, err := RunEnumerate(g, tree, marked, r.eng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -183,7 +195,7 @@ func TestRunEnumerate(t *testing.T) {
 
 func TestRunTreeSum(t *testing.T) {
 	g := gen.Star(20)
-	tree, _, err := RunBFS(g, 0, RunSequential, 100)
+	tree, _, err := RunBFS(g, 0, seq(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +205,7 @@ func TestRunTreeSum(t *testing.T) {
 		values[v] = int64(v)
 		want += int64(v)
 	}
-	got, stats, err := RunTreeSum(g, tree, values, RunSequential, 100)
+	got, stats, err := RunTreeSum(g, tree, values, seq(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,9 +231,9 @@ func (doubleSender) Done() bool                           { return true }
 
 func TestBandwidthViolationDetected(t *testing.T) {
 	g := gen.Path(3)
-	for _, r := range runners {
+	for _, r := range engines(10) {
 		t.Run(r.name, func(t *testing.T) {
-			_, _, err := r.run(g, func(*View) Program { return doubleSender{} }, 10)
+			_, _, err := r.eng.Run(g, func(*View) Program { return doubleSender{} })
 			if !errors.Is(err, ErrBandwidth) {
 				t.Errorf("err = %v, want ErrBandwidth", err)
 			}
@@ -240,9 +252,9 @@ func (chatterbox) Done() bool { return true }
 
 func TestMaxRoundsEnforced(t *testing.T) {
 	g := gen.Cycle(4)
-	for _, r := range runners {
+	for _, r := range engines(20) {
 		t.Run(r.name, func(t *testing.T) {
-			_, _, err := r.run(g, func(*View) Program { return chatterbox{} }, 20)
+			_, _, err := r.eng.Run(g, func(*View) Program { return chatterbox{} })
 			if !errors.Is(err, ErrMaxRounds) {
 				t.Errorf("err = %v, want ErrMaxRounds", err)
 			}
@@ -255,11 +267,11 @@ func TestEnginesProduceIdenticalResults(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		g := gen.ErdosRenyi(40+trial*10, 0.06, rng)
 		root := graph.NodeID(trial)
-		seqTree, seqStats, err := RunBFS(g, root, RunSequential, 1000)
+		seqTree, seqStats, err := RunBFS(g, root, seq(1000))
 		if err != nil {
 			t.Fatal(err)
 		}
-		goTree, goStats, err := RunBFS(g, root, RunGoroutines, 1000)
+		goTree, goStats, err := RunBFS(g, root, NewEngine(Options{Workers: -1, MaxRounds: 1000}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,7 +296,7 @@ func TestViewLocality(t *testing.T) {
 		}
 		return &bfsNode{root: 0, tag: -1, maxDepth: -1}
 	}
-	if _, _, err := RunSequential(g, factory, 100); err != nil {
+	if _, _, err := seq(100).Run(g, factory); err != nil {
 		t.Fatal(err)
 	}
 	if captured.Degree() != 2 {

@@ -2,266 +2,312 @@ package congest
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/graph"
 )
 
-// delivery is an in-flight message addressed by global arc (sender side).
-type delivery struct {
-	arc int32 // arc at the sender: tail = sender, head = receiver
-	msg Message
+// Options configures an Engine.
+type Options struct {
+	// Workers selects the execution mode. 0 or 1 runs every node on a single
+	// goroutine in lock-step; k > 1 runs a pool of k workers over contiguous
+	// arc-balanced node ranges with a barrier between rounds; any negative
+	// value selects runtime.GOMAXPROCS(0) workers. Every setting produces
+	// bit-for-bit identical program outputs and Stats on runs that complete
+	// without error. (On an error-aborted run the same error is reported,
+	// but the accompanying Stats and program states are best-effort and may
+	// differ across modes: the sequential engine stops at the erroring node,
+	// while other shards of the pool finish their round.)
+	Workers int
+	// MaxRounds aborts a run with ErrMaxRounds when a round beyond it would
+	// be needed. 0 selects a generous default (1<<30).
+	MaxRounds int
 }
 
-// runState is the engine-independent bookkeeping shared by both engines.
-type runState struct {
+// Engine executes CONGEST Programs over a graph. Engines are stateless and
+// safe for concurrent use; per-run state lives on the Run stack.
+type Engine interface {
+	// Run instantiates one Program per node via factory and executes rounds
+	// until quiescence (no messages in flight and every program Done), then
+	// returns the run stats and the final per-node programs so callers can
+	// extract each node's local output.
+	Run(g *graph.Graph, factory Factory) (Stats, []Program, error)
+}
+
+// NewEngine returns the engine selected by opts.
+func NewEngine(opts Options) Engine {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 1 << 30
+	}
+	if opts.Workers < 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers <= 1 {
+		return &seqEngine{opts}
+	}
+	return &poolEngine{opts}
+}
+
+// Run is shorthand for NewEngine(opts).Run(g, factory).
+func Run(g *graph.Graph, factory Factory, opts Options) (Stats, []Program, error) {
+	return NewEngine(opts).Run(g, factory)
+}
+
+// RunSequential executes the programs in deterministic lock-step on a single
+// goroutine. Unlike Options.MaxRounds, maxRounds ≤ 0 is kept literally (the
+// seed behavior: any non-quiescent run exceeds the bound immediately).
+//
+// Deprecated: use NewEngine(Options{MaxRounds: maxRounds}).Run.
+func RunSequential(g *graph.Graph, factory Factory, maxRounds int) (Stats, []Program, error) {
+	return (&seqEngine{Options{MaxRounds: maxRounds}}).Run(g, factory)
+}
+
+// RunGoroutines executes the programs on the sharded worker pool with one
+// worker per available CPU. Like RunSequential, maxRounds ≤ 0 is kept
+// literally.
+//
+// Deprecated: use NewEngine(Options{Workers: -1, MaxRounds: maxRounds}).Run.
+func RunGoroutines(g *graph.Graph, factory Factory, maxRounds int) (Stats, []Program, error) {
+	return (&poolEngine{Options{Workers: runtime.GOMAXPROCS(0), MaxRounds: maxRounds}}).Run(g, factory)
+}
+
+// flatState is the arc-indexed run state shared by both execution modes.
+//
+// Message delivery exploits the CONGEST bandwidth constraint: at most one
+// message crosses each directed arc per round, so the in-flight messages of
+// a round fit exactly in one slot per arc. A send on arc a is written into
+// slot ArcReverse(a) — the same arc index the receiver iterates when walking
+// its own CSR arc range — under a double buffer: programs read the "cur"
+// buffer while their sends land in "next", and the coordinator swaps the two
+// at the round barrier. Receivers zero the occupancy bytes of their own
+// range as they consume, so no global clear is ever needed. Inboxes are
+// materialized in CSR port order, which makes delivery order (and therefore
+// every deterministic Program) independent of execution mode, worker count,
+// and scheduling.
+type flatState struct {
 	g        *graph.Graph
-	views    []*View
+	views    []View
 	programs []Program
-	// inboxes[v] holds this round's deliveries for node v.
-	inboxes [][]Inbound
-	// portOf[a] is the local port index of global arc a at its tail.
-	portOf []int
-	// reverse[a] is the arc in the opposite direction of a.
-	reverse []int32
-	stats   Stats
+
+	curMsgs, nextMsgs []Message
+	curOcc, nextOcc   []uint8
 }
 
-func newRunState(g *graph.Graph, factory Factory) *runState {
+func newFlatState(g *graph.Graph, factory Factory) *flatState {
 	n := g.NumNodes()
-	st := &runState{
+	arcs := g.NumArcs()
+	st := &flatState{
 		g:        g,
-		views:    make([]*View, n),
+		views:    make([]View, n),
 		programs: make([]Program, n),
-		inboxes:  make([][]Inbound, n),
-		portOf:   make([]int, g.NumArcs()),
-		reverse:  make([]int32, g.NumArcs()),
+		curMsgs:  make([]Message, arcs),
+		nextMsgs: make([]Message, arcs),
+		curOcc:   make([]uint8, arcs),
+		nextOcc:  make([]uint8, arcs),
 	}
 	for u := 0; u < n; u++ {
-		lo, hi := g.ArcRange(graph.NodeID(u))
-		for a := lo; a < hi; a++ {
-			st.portOf[a] = int(a - lo)
-		}
-		st.views[u] = &View{g: g, id: graph.NodeID(u), lo: lo, n: int64(n)}
-		st.programs[u] = factory(st.views[u])
-	}
-	// reverse[a]: the arc (v,u) matching arc a=(u,v); both share an EdgeID.
-	for u := 0; u < n; u++ {
-		lo, hi := g.ArcRange(graph.NodeID(u))
-		for a := lo; a < hi; a++ {
-			v := g.ArcTarget(a)
-			e := g.ArcEdge(a)
-			vlo, vhi := g.ArcRange(v)
-			for b := vlo; b < vhi; b++ {
-				if g.ArcEdge(b) == e {
-					st.reverse[a] = b
-					break
-				}
-			}
-		}
+		lo, _ := g.ArcRange(graph.NodeID(u))
+		st.views[u] = View{g: g, id: graph.NodeID(u), lo: lo, n: int64(n)}
+		st.programs[u] = factory(&st.views[u])
 	}
 	return st
 }
 
-// stage converts one node's outbox into deliveries and clears it.
-func (st *runState) stage(u graph.NodeID, out *Outbox, pending *[]delivery) error {
-	if out.err != nil {
-		return out.err
-	}
-	lo, _ := st.g.ArcRange(u)
-	for i, p := range out.ports {
-		if p < 0 || p >= st.g.Degree(u) {
-			return fmt.Errorf("congest: node %d sent on invalid port %d", u, p)
-		}
-		*pending = append(*pending, delivery{arc: lo + int32(p), msg: out.msgs[i]})
-	}
-	st.stats.Messages += int64(len(out.ports))
-	out.reset()
-	return nil
+// swap flips the double buffer at the round barrier.
+func (st *flatState) swap() {
+	st.curMsgs, st.nextMsgs = st.nextMsgs, st.curMsgs
+	st.curOcc, st.nextOcc = st.nextOcc, st.curOcc
 }
 
-// deliver moves pending deliveries into per-node inboxes for the next round,
-// in deterministic (receiver, sender-port) order.
-func (st *runState) deliver(pending []delivery) {
-	sort.Slice(pending, func(i, j int) bool {
-		ri := st.g.ArcTarget(pending[i].arc)
-		rj := st.g.ArcTarget(pending[j].arc)
-		if ri != rj {
-			return ri < rj
-		}
-		return pending[i].arc < pending[j].arc
-	})
-	for _, d := range pending {
-		recv := st.g.ArcTarget(d.arc)
-		back := st.reverse[d.arc]
-		st.inboxes[recv] = append(st.inboxes[recv], Inbound{
-			Port: st.portOf[back],
-			From: tailOf(st.g, d.arc),
-			Msg:  d.msg,
-		})
-	}
-}
-
-func tailOf(g *graph.Graph, arc int32) graph.NodeID {
-	// The tail is the endpoint of the arc's edge that is not the head, unless
-	// the edge is a self-loop (which Builder forbids).
-	u, v := g.EdgeEndpoints(g.ArcEdge(arc))
-	if g.ArcTarget(arc) == v {
-		return u
-	}
-	return v
-}
-
-func (st *runState) allDone() bool {
-	for _, p := range st.programs {
-		if !p.Done() {
-			return false
-		}
-	}
-	return true
-}
-
-// RunSequential executes the programs in deterministic lock-step on a single
-// goroutine. It returns the run stats and the final per-node programs (so
-// callers can extract each node's local output).
-func RunSequential(g *graph.Graph, factory Factory, maxRounds int) (Stats, []Program, error) {
-	st := newRunState(g, factory)
-	out := &Outbox{used: make(map[int]struct{})}
-	var pending []delivery
-	for u := range st.programs {
-		st.programs[u].Init(st.views[u], out)
-		if err := st.stage(graph.NodeID(u), out, &pending); err != nil {
-			return st.stats, st.programs, err
-		}
-	}
-	for round := 1; ; round++ {
-		if len(pending) == 0 && st.allDone() {
-			st.stats.Rounds = round - 1
-			return st.stats, st.programs, nil
-		}
-		if round > maxRounds {
-			return st.stats, st.programs, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
-		}
-		st.deliver(pending)
-		pending = pending[:0]
-		for u := range st.programs {
-			in := st.inboxes[u]
-			if len(in) == 0 && st.programs[u].Done() {
+// stepRange advances nodes [from, to) through round `round` (0 = Init),
+// reading inboxes from the cur buffer and staging sends into next via out.
+// *in is a reusable scratch buffer that amortizes to zero allocations once
+// grown to the range's maximum inbox size. Returns the messages sent,
+// whether every program in the range is Done, and the first error in node
+// order.
+func (st *flatState) stepRange(round int, from, to graph.NodeID, out *Outbox, in *[]Inbound) (sent int64, allDone bool, err error) {
+	g := st.g
+	allDone = true
+	out.sent = 0
+	for u := from; u < to; u++ {
+		lo, hi := g.ArcRange(u)
+		prog := st.programs[u]
+		if round == 0 {
+			out.bind(u, lo, hi)
+			prog.Init(&st.views[u], out)
+		} else {
+			inbox := (*in)[:0]
+			for a := lo; a < hi; a++ {
+				if st.curOcc[a] != 0 {
+					st.curOcc[a] = 0
+					inbox = append(inbox, Inbound{Port: int(a - lo), From: g.ArcTarget(a), Msg: st.curMsgs[a]})
+				}
+			}
+			*in = inbox
+			if len(inbox) == 0 && prog.Done() {
 				continue
 			}
-			st.programs[u].Round(round, st.views[u], in, out)
-			st.inboxes[u] = st.inboxes[u][:0]
-			if err := st.stage(graph.NodeID(u), out, &pending); err != nil {
-				return st.stats, st.programs, err
-			}
+			out.bind(u, lo, hi)
+			prog.Round(round, &st.views[u], inbox, out)
+		}
+		if out.err != nil {
+			return out.sent, false, out.err
+		}
+		if !prog.Done() {
+			allDone = false
+		}
+	}
+	return out.sent, allDone, nil
+}
+
+// seqEngine runs every node on the calling goroutine in lock-step.
+type seqEngine struct{ opts Options }
+
+func (e *seqEngine) Run(g *graph.Graph, factory Factory) (Stats, []Program, error) {
+	st := newFlatState(g, factory)
+	n := graph.NodeID(g.NumNodes())
+	out := &Outbox{rev: g.ArcReverses(), msgs: st.nextMsgs, occ: st.nextOcc}
+	var in []Inbound
+	var stats Stats
+
+	sent, allDone, err := st.stepRange(0, 0, n, out, &in)
+	stats.Messages += sent
+	if err != nil {
+		return stats, st.programs, err
+	}
+	for round := 1; ; round++ {
+		if sent == 0 && allDone {
+			stats.Rounds = round - 1
+			return stats, st.programs, nil
+		}
+		if round > e.opts.MaxRounds {
+			return stats, st.programs, fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds)
+		}
+		st.swap()
+		out.msgs, out.occ = st.nextMsgs, st.nextOcc
+		sent, allDone, err = st.stepRange(round, 0, n, out, &in)
+		stats.Messages += sent
+		if err != nil {
+			return stats, st.programs, err
 		}
 	}
 }
 
-// RunGoroutines executes the programs with one goroutine per node and a
-// barrier between rounds, demonstrating the natural goroutine/channel fit
-// for round-based message passing. Semantics are identical to RunSequential
-// for programs that are deterministic functions of their inputs.
-func RunGoroutines(g *graph.Graph, factory Factory, maxRounds int) (Stats, []Program, error) {
-	st := newRunState(g, factory)
+// poolEngine runs nodes on P persistent workers over contiguous node shards
+// with a barrier between rounds. Shard boundaries are chosen to balance arc
+// counts, so dense regions do not serialize on one worker. Determinism needs
+// no locks: each directed arc has exactly one sender, so workers write
+// disjoint slots of the next buffer, and receivers consume slots of their
+// own shard only.
+type poolEngine struct{ opts Options }
+
+// shardResult is one worker's per-round report to the coordinator.
+type shardResult struct {
+	sent    int64
+	allDone bool
+	err     error
+}
+
+func (e *poolEngine) Run(g *graph.Graph, factory Factory) (Stats, []Program, error) {
 	n := g.NumNodes()
-
-	type nodeResult struct {
-		u   graph.NodeID
-		out []delivery
-		err error
+	p := e.opts.Workers
+	if p > n {
+		p = n
 	}
+	if p <= 1 {
+		return (&seqEngine{e.opts}).Run(g, factory)
+	}
+	st := newFlatState(g, factory)
+	bounds := shardBounds(g, p)
+	rev := g.ArcReverses()
 
-	// Per-node worker goroutines live for the whole run; the coordinator
-	// wakes them each round and collects their outboxes.
-	wake := make([]chan int, n)
-	results := make(chan nodeResult, 1)
+	wake := make([]chan int, p)
+	results := make([]shardResult, p)
+	var barrier sync.WaitGroup
 	var wg sync.WaitGroup
-	for u := 0; u < n; u++ {
-		wake[u] = make(chan int, 1)
+	for w := 0; w < p; w++ {
+		wake[w] = make(chan int, 1)
 		wg.Add(1)
-		go func(u graph.NodeID) {
+		go func(w int) {
 			defer wg.Done()
-			out := &Outbox{used: make(map[int]struct{})}
-			lo, _ := g.ArcRange(u)
-			for round := range wake[u] {
-				if round == 0 {
-					st.programs[u].Init(st.views[u], out)
-				} else {
-					st.programs[u].Round(round, st.views[u], st.inboxes[u], out)
-				}
-				res := nodeResult{u: u, err: out.err}
-				for i, p := range out.ports {
-					if p < 0 || p >= g.Degree(u) {
-						res.err = fmt.Errorf("congest: node %d sent on invalid port %d", u, p)
-						break
-					}
-					res.out = append(res.out, delivery{arc: lo + int32(p), msg: out.msgs[i]})
-				}
-				out.reset()
-				results <- res
+			out := &Outbox{rev: rev}
+			var in []Inbound
+			for round := range wake[w] {
+				out.msgs, out.occ = st.nextMsgs, st.nextOcc
+				sent, allDone, err := st.stepRange(round, bounds[w], bounds[w+1], out, &in)
+				results[w] = shardResult{sent: sent, allDone: allDone, err: err}
+				barrier.Done()
 			}
-		}(graph.NodeID(u))
+		}(w)
 	}
-	stopWorkers := func() {
+	stop := func() {
 		for _, c := range wake {
 			close(c)
 		}
 		wg.Wait()
 	}
 
-	runRound := func(round int, active []graph.NodeID) ([]delivery, error) {
-		var pending []delivery
-		var firstErr error
-		for _, u := range active {
-			wake[u] <- round
+	var stats Stats
+	runRound := func(round int) (sent int64, allDone bool, err error) {
+		barrier.Add(p)
+		for _, c := range wake {
+			c <- round
 		}
-		for range active {
-			res := <-results
-			if res.err != nil && firstErr == nil {
-				firstErr = res.err
+		barrier.Wait()
+		allDone = true
+		for w := 0; w < p; w++ {
+			sent += results[w].sent
+			allDone = allDone && results[w].allDone
+			if err == nil && results[w].err != nil {
+				err = results[w].err // first in shard (= node) order
 			}
-			st.stats.Messages += int64(len(res.out))
-			pending = append(pending, res.out...)
 		}
-		return pending, firstErr
+		stats.Messages += sent
+		return sent, allDone, err
 	}
 
-	all := make([]graph.NodeID, n)
-	for u := range all {
-		all[u] = graph.NodeID(u)
-	}
-	pending, err := runRound(0, all)
+	sent, allDone, err := runRound(0)
 	if err != nil {
-		stopWorkers()
-		return st.stats, st.programs, err
+		stop()
+		return stats, st.programs, err
 	}
 	for round := 1; ; round++ {
-		if len(pending) == 0 && st.allDone() {
-			st.stats.Rounds = round - 1
-			stopWorkers()
-			return st.stats, st.programs, nil
+		if sent == 0 && allDone {
+			stats.Rounds = round - 1
+			stop()
+			return stats, st.programs, nil
 		}
-		if round > maxRounds {
-			stopWorkers()
-			return st.stats, st.programs, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
+		if round > e.opts.MaxRounds {
+			stop()
+			return stats, st.programs, fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds)
 		}
-		st.deliver(pending)
-		// Only nodes with deliveries or unfinished programs take a step.
-		active := all[:0:0]
-		for u := 0; u < n; u++ {
-			if len(st.inboxes[u]) > 0 || !st.programs[u].Done() {
-				active = append(active, graph.NodeID(u))
-			}
-		}
-		pending, err = runRound(round, active)
-		for _, u := range active {
-			st.inboxes[u] = st.inboxes[u][:0]
-		}
+		st.swap()
+		sent, allDone, err = runRound(round)
 		if err != nil {
-			stopWorkers()
-			return st.stats, st.programs, err
+			stop()
+			return stats, st.programs, err
 		}
 	}
+}
+
+// shardBounds splits [0, n) into p contiguous ranges of roughly equal total
+// arc count (CSR offsets make the split a binary search per boundary).
+func shardBounds(g *graph.Graph, p int) []graph.NodeID {
+	n := g.NumNodes()
+	arcs := g.NumArcs()
+	bounds := make([]graph.NodeID, p+1)
+	bounds[p] = graph.NodeID(n)
+	for w := 1; w < p; w++ {
+		target := int32(int64(arcs) * int64(w) / int64(p))
+		u := sort.Search(n, func(u int) bool {
+			lo, _ := g.ArcRange(graph.NodeID(u))
+			return lo >= target
+		})
+		bounds[w] = graph.NodeID(u)
+	}
+	// Guard against empty graphs / degenerate splits: bounds must be
+	// nondecreasing, which Search guarantees since offsets are monotone.
+	return bounds
 }

@@ -15,10 +15,6 @@ const (
 	kindOffset                  // A = prefix offset for enumeration
 )
 
-// Runner abstracts over the two engines so algorithms can be executed (and
-// tested) under either.
-type Runner func(g *graph.Graph, factory Factory, maxRounds int) (Stats, []Program, error)
-
 // Tree is the per-node description of a rooted spanning structure produced
 // by the BFS primitives and consumed by the aggregation primitives. All
 // slices are indexed by NodeID; ports are local port indices.
@@ -107,11 +103,11 @@ func (b *bfsNode) Done() bool { return true } // purely message-driven
 
 // RunBFS builds a BFS tree from root over the whole graph using the given
 // runner. The returned stats cover this phase only.
-func RunBFS(g *graph.Graph, root graph.NodeID, run Runner, maxRounds int) (*Tree, Stats, error) {
+func RunBFS(g *graph.Graph, root graph.NodeID, eng Engine) (*Tree, Stats, error) {
 	factory := func(v *View) Program {
 		return &bfsNode{root: root, tag: -1, maxDepth: -1}
 	}
-	stats, progs, err := run(g, factory, maxRounds)
+	stats, progs, err := eng.Run(g, factory)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -132,7 +128,7 @@ type Forest struct {
 // leaders and truncated at maxDepth hops (maxDepth < 0 = unbounded). Parts
 // are vertex-disjoint so the floods do not contend: this mirrors the paper's
 // parallel intra-part BFS used to detect large components.
-func RunPartBFS(g *graph.Graph, leaderOf []graph.NodeID, maxDepth int32, run Runner, maxRounds int) (*Forest, Stats, error) {
+func RunPartBFS(g *graph.Graph, leaderOf []graph.NodeID, maxDepth int32, eng Engine) (*Forest, Stats, error) {
 	if len(leaderOf) != g.NumNodes() {
 		return nil, Stats{}, fmt.Errorf("congest: leaderOf has %d entries for %d nodes", len(leaderOf), g.NumNodes())
 	}
@@ -140,7 +136,7 @@ func RunPartBFS(g *graph.Graph, leaderOf []graph.NodeID, maxDepth int32, run Run
 		leader := leaderOf[v.ID()]
 		return &bfsNode{root: leader, tag: int64(leader), myTag: int64(leader), maxDepth: maxDepth}
 	}
-	stats, progs, err := run(g, factory, maxRounds)
+	stats, progs, err := eng.Run(g, factory)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -235,9 +231,9 @@ func (r *MaxFloodResult) EccApprox() int32 {
 // RunMaxFlood elects the maximum-ID node as leader and equips every node
 // with its distance to the leader. Completes in O(D) rounds on connected
 // graphs.
-func RunMaxFlood(g *graph.Graph, run Runner, maxRounds int) (*MaxFloodResult, Stats, error) {
+func RunMaxFlood(g *graph.Graph, eng Engine) (*MaxFloodResult, Stats, error) {
 	factory := func(v *View) Program { return &maxFloodNode{} }
-	stats, progs, err := run(g, factory, maxRounds)
+	stats, progs, err := eng.Run(g, factory)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -351,7 +347,7 @@ type EnumerateResult struct {
 // a convergecast of subtree counts followed by a prefix-offset broadcast down
 // the given tree. It completes in O(depth) rounds. Every tree node must be
 // reachable (Tree from RunBFS on a connected graph).
-func RunEnumerate(g *graph.Graph, tree *Tree, marked []bool, run Runner, maxRounds int) (*EnumerateResult, Stats, error) {
+func RunEnumerate(g *graph.Graph, tree *Tree, marked []bool, eng Engine) (*EnumerateResult, Stats, error) {
 	factory := func(v *View) Program {
 		var val int64
 		if marked[v.ID()] {
@@ -364,7 +360,7 @@ func RunEnumerate(g *graph.Graph, tree *Tree, marked []bool, run Runner, maxRoun
 			enumerate:  true,
 		}
 	}
-	stats, progs, err := run(g, factory, maxRounds)
+	stats, progs, err := eng.Run(g, factory)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -381,7 +377,7 @@ func RunEnumerate(g *graph.Graph, tree *Tree, marked []bool, run Runner, maxRoun
 
 // RunTreeSum convergecasts the per-node values up the tree and returns the
 // total collected at the root, in O(depth) rounds.
-func RunTreeSum(g *graph.Graph, tree *Tree, values []int64, run Runner, maxRounds int) (int64, Stats, error) {
+func RunTreeSum(g *graph.Graph, tree *Tree, values []int64, eng Engine) (int64, Stats, error) {
 	factory := func(v *View) Program {
 		return &aggNode{
 			parentPort: tree.ParentPort[v.ID()],
@@ -389,7 +385,7 @@ func RunTreeSum(g *graph.Graph, tree *Tree, values []int64, run Runner, maxRound
 			value:      values[v.ID()],
 		}
 	}
-	stats, progs, err := run(g, factory, maxRounds)
+	stats, progs, err := eng.Run(g, factory)
 	if err != nil {
 		return 0, stats, err
 	}

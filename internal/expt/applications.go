@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/congest"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mincut"
@@ -40,6 +41,7 @@ func E6MST(cfg Config) (*Table, error) {
 			}
 			ours, err := mst.Distributed(g, w, mst.DistOptions{
 				Rng: cfg.rng(int64(d*31 + n)), Diameter: d, LogFactor: cfg.LogFactor,
+				Workers: cfg.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E6 ours D=%d n=%d: %w", d, n, err)
@@ -154,6 +156,7 @@ func E8Messages(cfg Config) (*Table, error) {
 			}
 			res, err := shortcut.BuildDistributed(hi.G, p, shortcut.DistOptions{
 				Rng: rng, LogFactor: cfg.LogFactor, KnownDiameter: d,
+				Workers: cfg.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E8 D=%d n=%d: %w", d, n, err)
@@ -252,7 +255,7 @@ func E12SSSP(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, bfStats, err := sssp.BellmanFord(g, w, src, nil, 1<<22)
+		_, bfStats, err := sssp.BellmanFord(g, w, src, congest.Options{Workers: cfg.Workers, MaxRounds: 1 << 22})
 		if err != nil {
 			return nil, fmt.Errorf("E12 BF n=%d: %w", n, err)
 		}

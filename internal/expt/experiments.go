@@ -28,6 +28,10 @@ type Config struct {
 	LogFactor float64
 	// Quick reduces sweeps for benchmark iterations.
 	Quick bool
+	// Workers selects the CONGEST engine parallelism for the simulated
+	// experiments (see congest.Options); 0 = deterministic sequential.
+	// Results are identical for every setting.
+	Workers int
 }
 
 // WithDefaults fills unset fields.
@@ -142,6 +146,7 @@ func E2Rounds(cfg Config) (*Table, error) {
 			}
 			res, err := shortcut.BuildDistributed(hi.G, p, shortcut.DistOptions{
 				Rng: rng, LogFactor: cfg.LogFactor, KnownDiameter: d,
+				Workers: cfg.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E2 D=%d n=%d: %w", d, n, err)

@@ -6,6 +6,7 @@
 package expt
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -82,6 +83,24 @@ func (t *Table) CSV(w io.Writer) {
 	for _, row := range t.Rows {
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}
+}
+
+// WriteJSON renders tables as a JSON array of {title, columns, rows, notes}
+// objects — the machine-readable form consumed by perf-trajectory tooling.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	type jsonTable struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}
+	out := make([]jsonTable, len(tables))
+	for i, t := range tables {
+		out[i] = jsonTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // Slope fits a least-squares line to (log x, log y) and returns its slope —

@@ -30,6 +30,8 @@ type Graph struct {
 	offsets   []int32  // len n+1; arcs of node u are [offsets[u], offsets[u+1])
 	neighbors []NodeID // arc target, len 2m
 	arcEdge   []EdgeID // arc -> undirected edge ID, len 2m
+	arcRev    []int32  // arc -> opposite-direction arc of the same edge, len 2m
+	arcTail   []NodeID // arc -> tail (source) node, len 2m
 	edgeU     []NodeID // edge ID -> smaller endpoint, len m
 	edgeV     []NodeID // edge ID -> larger endpoint, len m
 }
@@ -64,6 +66,21 @@ func (g *Graph) ArcTarget(a int32) NodeID { return g.neighbors[a] }
 
 // ArcEdge returns the undirected EdgeID that arc a belongs to.
 func (g *Graph) ArcEdge(a int32) EdgeID { return g.arcEdge[a] }
+
+// ArcReverse returns the arc in the opposite direction of a: the unique arc
+// b with ArcEdge(b) == ArcEdge(a) and b ≠ a. The table is precomputed in
+// O(Σ deg) at Build time; it is what makes CONGEST message delivery a direct
+// slot write (slot ArcReverse(a) at the receiver for a send on arc a).
+func (g *Graph) ArcReverse(a int32) int32 { return g.arcRev[a] }
+
+// ArcTail returns the tail (source) of directed arc a, i.e. the node whose
+// ArcRange contains a. Precomputed in O(Σ deg) at Build time.
+func (g *Graph) ArcTail(a int32) NodeID { return g.arcTail[a] }
+
+// ArcReverses returns the full reverse-arc table indexed by arc, as a shared
+// read-only slice (the CONGEST engine's send hot path indexes it directly).
+// Callers must not modify the returned slice.
+func (g *Graph) ArcReverses() []int32 { return g.arcRev }
 
 // EdgeEndpoints returns the two endpoints of edge e with u < v.
 func (g *Graph) EdgeEndpoints(e EdgeID) (u, v NodeID) {
@@ -185,6 +202,8 @@ func (b *Builder) Build() *Graph {
 		offsets:   make([]int32, b.n+1),
 		neighbors: make([]NodeID, 2*m),
 		arcEdge:   make([]EdgeID, 2*m),
+		arcRev:    make([]int32, 2*m),
+		arcTail:   make([]NodeID, 2*m),
 		edgeU:     make([]NodeID, m),
 		edgeV:     make([]NodeID, m),
 	}
@@ -202,11 +221,16 @@ func (b *Builder) Build() *Graph {
 	copy(cursor, g.offsets[:b.n])
 	for e, uv := range b.edges {
 		u, v := uv[0], uv[1]
-		g.neighbors[cursor[u]] = v
-		g.arcEdge[cursor[u]] = EdgeID(e)
+		au, av := cursor[u], cursor[v]
+		g.neighbors[au] = v
+		g.arcEdge[au] = EdgeID(e)
+		g.arcRev[au] = av
+		g.arcTail[au] = u
+		g.neighbors[av] = u
+		g.arcEdge[av] = EdgeID(e)
+		g.arcRev[av] = au
+		g.arcTail[av] = v
 		cursor[u]++
-		g.neighbors[cursor[v]] = u
-		g.arcEdge[cursor[v]] = EdgeID(e)
 		cursor[v]++
 	}
 	b.seen = nil

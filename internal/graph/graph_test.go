@@ -169,3 +169,34 @@ func TestStringSummary(t *testing.T) {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
 }
+
+func TestArcReverseAndTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	b := NewBuilder(n)
+	for i := 0; i < 200; i++ {
+		b.TryAddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	g := b.Build()
+	for u := 0; u < n; u++ {
+		lo, hi := g.ArcRange(NodeID(u))
+		for a := lo; a < hi; a++ {
+			if g.ArcTail(a) != NodeID(u) {
+				t.Fatalf("ArcTail(%d) = %d, want %d", a, g.ArcTail(a), u)
+			}
+			r := g.ArcReverse(a)
+			if r == a {
+				t.Fatalf("ArcReverse(%d) = %d (self)", a, r)
+			}
+			if g.ArcReverse(r) != a {
+				t.Fatalf("ArcReverse not involutive at arc %d", a)
+			}
+			if g.ArcEdge(r) != g.ArcEdge(a) {
+				t.Fatalf("reverse arc %d of %d carries edge %d, want %d", r, a, g.ArcEdge(r), g.ArcEdge(a))
+			}
+			if g.ArcTail(r) != g.ArcTarget(a) || g.ArcTarget(r) != NodeID(u) {
+				t.Fatalf("reverse arc %d of %d does not point back: tail %d target %d", r, a, g.ArcTail(r), g.ArcTarget(r))
+			}
+		}
+	}
+}

@@ -28,6 +28,9 @@ type DistOptions struct {
 	// convergecast, result broadcast, fragment-ID exchange) are simulated
 	// and charged — the per-phase costs that dominate the framework.
 	SimulateConstruction bool
+	// Workers selects the CONGEST engine parallelism for the simulated
+	// construction phases (see congest.Options); 0 = sequential.
+	Workers int
 	// DepthFactor as in shortcut.DistOptions (0 = 2).
 	DepthFactor float64
 	// MaxRounds bounds each scheduled phase (0 = default).
@@ -106,6 +109,7 @@ func Distributed(g *graph.Graph, w graph.Weights, opts DistOptions) (*DistResult
 				KnownDiameter: d,
 				DepthFactor:   depthFactor,
 				MaxRounds:     opts.MaxRounds,
+				Workers:       opts.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("mst: phase %d shortcuts: %w", res.Phases, err)

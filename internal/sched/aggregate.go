@@ -49,7 +49,6 @@ type aggToken struct {
 	task int32
 	kind uint8 // 0 = up (convergecast), 1 = down (broadcast result)
 	val  AggValue
-	from graph.NodeID
 }
 
 // ParallelMinAggregate runs all tasks' min-convergecasts and result
@@ -92,7 +91,7 @@ func ParallelMinAggregate(g *graph.Graph, tasks []AggTask, opts Options) ([]AggV
 				}
 				return
 			}
-			qs.push(a, aggToken{task: ti, kind: 0, val: st.acc, from: u})
+			qs.push(a, aggToken{task: ti, kind: 0, val: st.acc})
 			return
 		}
 		// Root: convergecast complete; broadcast the winner down.
@@ -105,7 +104,7 @@ func ParallelMinAggregate(g *graph.Graph, tasks []AggTask, opts Options) ([]AggV
 				}
 				return
 			}
-			qs.push(a, aggToken{task: ti, kind: 1, val: st.acc, from: u})
+			qs.push(a, aggToken{task: ti, kind: 1, val: st.acc})
 		}
 	}
 
@@ -173,7 +172,7 @@ func ParallelMinAggregate(g *graph.Graph, tasks []AggTask, opts Options) ([]AggV
 					}
 					return
 				}
-				qs.push(a, aggToken{task: tk.task, kind: 1, val: tk.val, from: v})
+				qs.push(a, aggToken{task: tk.task, kind: 1, val: tk.val})
 			}
 		}
 	}

@@ -80,7 +80,8 @@ type bfsToken struct {
 	task int32
 	kind uint8 // 0 = visit token carrying dist, 1 = child notification
 	dist int32
-	from graph.NodeID
+	// The sender is not carried: it is always the tail of the arc the token
+	// rides, i.e. graph.ArcTail(arc) at delivery time.
 }
 
 // queues is a per-arc FIFO with an active-arc worklist, the shared machinery
@@ -196,7 +197,7 @@ func ParallelBFS(g *graph.Graph, tasks []BFSTask, opts Options) ([]*BFSOutcome, 
 			if t.Allowed != nil && !t.Allowed(a, u, v, e) {
 				continue
 			}
-			qs.push(a, bfsToken{task: task, kind: 0, dist: dist, from: u})
+			qs.push(a, bfsToken{task: task, kind: 0, dist: dist})
 		}
 	}
 
@@ -209,15 +210,13 @@ func ParallelBFS(g *graph.Graph, tasks []BFSTask, opts Options) ([]*BFSOutcome, 
 				return
 			}
 			out.Dist[v] = tk.dist + 1
-			out.Parent[v] = tk.from
+			out.Parent[v] = g.ArcTail(arc)
 			// Notify the parent over the reverse direction of this edge; the
 			// notification shares bandwidth with everything else.
-			if back, ok := reverseArc(g, arc); ok {
-				qs.push(back, bfsToken{task: tk.task, kind: 1, from: v})
-			}
+			qs.push(g.ArcReverse(arc), bfsToken{task: tk.task, kind: 1})
 			expand(tk.task, v, tk.dist+1)
 		case 1:
-			out.Children[v] = append(out.Children[v], tk.from)
+			out.Children[v] = append(out.Children[v], g.ArcTail(arc))
 		}
 	}
 
@@ -246,16 +245,4 @@ func ParallelBFS(g *graph.Graph, tasks []BFSTask, opts Options) ([]*BFSOutcome, 
 	stats.MaxArcLoad = qs.maxLoad()
 	stats.MaxQueue = qs.maxQ
 	return outcomes, stats, nil
-}
-
-func reverseArc(g *graph.Graph, arc int32) (int32, bool) {
-	e := g.ArcEdge(arc)
-	head := g.ArcTarget(arc)
-	lo, hi := g.ArcRange(head)
-	for b := lo; b < hi; b++ {
-		if g.ArcEdge(b) == e {
-			return b, true
-		}
-	}
-	return 0, false
 }

@@ -17,8 +17,11 @@ type DistOptions struct {
 	// LogFactor and Reps as in Options (0 = paper defaults).
 	LogFactor float64
 	Reps      int
-	// Runner selects the CONGEST engine (nil = congest.RunSequential).
-	Runner congest.Runner
+	// Workers selects the CONGEST engine parallelism (see congest.Options):
+	// 0 runs the deterministic sequential mode, k > 1 a k-worker sharded
+	// pool, negative one worker per CPU. All settings produce identical
+	// results.
+	Workers int
 	// DepthFactor scales the truncation depth of the scheduled BFS phase:
 	// depth = DepthFactor·kD·log2(n). 0 selects 2.
 	DepthFactor float64
@@ -85,10 +88,6 @@ func BuildDistributed(g *graph.Graph, p *Partition, opts DistOptions) (*DistResu
 	if opts.Rng == nil {
 		return nil, fmt.Errorf("shortcut: DistOptions.Rng is required")
 	}
-	runner := opts.Runner
-	if runner == nil {
-		runner = congest.RunSequential
-	}
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("shortcut: empty graph")
@@ -97,11 +96,12 @@ func BuildDistributed(g *graph.Graph, p *Partition, opts DistOptions) (*DistResu
 	if maxR <= 0 {
 		maxR = 64*n + 4096
 	}
+	eng := congest.NewEngine(congest.Options{Workers: opts.Workers, MaxRounds: maxR})
 
 	res := &DistResult{}
 
 	// Phase 0: leader election + diameter approximation.
-	mf, st, err := congest.RunMaxFlood(g, runner, maxR)
+	mf, st, err := congest.RunMaxFlood(g, eng)
 	if err != nil {
 		return nil, fmt.Errorf("shortcut: leader election: %w", err)
 	}
@@ -113,7 +113,7 @@ func BuildDistributed(g *graph.Graph, p *Partition, opts DistOptions) (*DistResu
 	res.EccApprox = ecc
 
 	// Phase 1: global BFS tree from the leader.
-	globalTree, st, err := congest.RunBFS(g, mf.Leader, runner, maxR)
+	globalTree, st, err := congest.RunBFS(g, mf.Leader, eng)
 	if err != nil {
 		return nil, fmt.Errorf("shortcut: global BFS: %w", err)
 	}
@@ -126,7 +126,7 @@ func BuildDistributed(g *graph.Graph, p *Partition, opts DistOptions) (*DistResu
 	leaderOf := p.LeaderOf()
 	for guess := low; guess <= high; guess++ {
 		res.Guesses++
-		sc, ok, err := tryGuess(g, p, leaderOf, globalTree, guess, &opts, runner, maxR, res)
+		sc, ok, err := tryGuess(g, p, leaderOf, globalTree, guess, &opts, eng, res)
 		if err != nil {
 			return nil, fmt.Errorf("shortcut: guess D=%d: %w", guess, err)
 		}
@@ -156,8 +156,7 @@ func tryGuess(
 	globalTree *congest.Tree,
 	dGuess int,
 	opts *DistOptions,
-	runner congest.Runner,
-	maxR int,
+	eng congest.Engine,
 	res *DistResult,
 ) (*Shortcuts, bool, error) {
 	n := g.NumNodes()
@@ -165,7 +164,7 @@ func tryGuess(
 	kdInt := int(math.Ceil(params.KD))
 
 	// Phase 2: truncated intra-part BFS to classify parts.
-	forest, st, err := congest.RunPartBFS(g, leaderOf, int32(kdInt), runner, maxR)
+	forest, st, err := congest.RunPartBFS(g, leaderOf, int32(kdInt), eng)
 	if err != nil {
 		return nil, false, fmt.Errorf("part BFS: %w", err)
 	}
@@ -175,7 +174,7 @@ func tryGuess(
 	for v := 0; v < n; v++ {
 		reached[v] = forest.Dist[v] != graph.Unreached
 	}
-	flags, st, err := congest.RunReachExchange(g, leaderOf, reached, runner, maxR)
+	flags, st, err := congest.RunReachExchange(g, leaderOf, reached, eng)
 	if err != nil {
 		return nil, false, fmt.Errorf("reach exchange: %w", err)
 	}
@@ -193,7 +192,7 @@ func tryGuess(
 			values[v] |= 1 << flagShift
 		}
 	}
-	totals, st, err := congest.RunForestSum(g, forest, values, runner, maxR)
+	totals, st, err := congest.RunForestSum(g, forest, values, eng)
 	if err != nil {
 		return nil, false, fmt.Errorf("part size convergecast: %w", err)
 	}
@@ -212,7 +211,7 @@ func tryGuess(
 	}
 
 	// Phase 3: number the large parts and broadcast their count.
-	enum, st, err := congest.RunEnumerate(g, globalTree, marked, runner, maxR)
+	enum, st, err := congest.RunEnumerate(g, globalTree, marked, eng)
 	if err != nil {
 		return nil, false, fmt.Errorf("enumerate: %w", err)
 	}
@@ -220,7 +219,7 @@ func tryGuess(
 	if enum.Total != int64(len(large)) {
 		return nil, false, fmt.Errorf("enumerate counted %d large parts, expected %d", enum.Total, len(large))
 	}
-	_, st, err = congest.RunTreeBroadcast(g, globalTree, enum.Total, runner, maxR)
+	_, st, err = congest.RunTreeBroadcast(g, globalTree, enum.Total, eng)
 	if err != nil {
 		return nil, false, fmt.Errorf("broadcast N: %w", err)
 	}
@@ -307,7 +306,7 @@ func tryGuess(
 			reached2[v] = ok
 		}
 	}
-	flags2, st, err := congest.RunReachExchange(g, leaderOf, reached2, runner, maxR)
+	flags2, st, err := congest.RunReachExchange(g, leaderOf, reached2, eng)
 	if err != nil {
 		return nil, false, fmt.Errorf("verification exchange: %w", err)
 	}

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/congest"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -145,7 +144,7 @@ func TestBuildDistributedGoroutineEngine(t *testing.T) {
 	res, err := BuildDistributed(hi.G, p, DistOptions{
 		Rng:           rng,
 		KnownDiameter: 3,
-		Runner:        congest.RunGoroutines,
+		Workers:       -1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -49,16 +49,14 @@ func (b *bfNode) Round(_ int, v *congest.View, in []congest.Inbound, out *conges
 
 func (b *bfNode) Done() bool { return true }
 
-// BellmanFord runs distributed Bellman–Ford on the CONGEST simulator,
-// returning exact distances and the simulated cost. Rounds grow with the
-// hop depth of the shortest-path tree — up to Θ(n) even on small-diameter
-// graphs, which is precisely the weakness shortcut-based SSSP addresses.
-func BellmanFord(g *graph.Graph, w graph.Weights, src graph.NodeID, run congest.Runner, maxRounds int) ([]float64, congest.Stats, error) {
+// BellmanFord runs distributed Bellman–Ford on the CONGEST simulator under
+// the engine selected by opts, returning exact distances and the simulated
+// cost. Rounds grow with the hop depth of the shortest-path tree — up to
+// Θ(n) even on small-diameter graphs, which is precisely the weakness
+// shortcut-based SSSP addresses.
+func BellmanFord(g *graph.Graph, w graph.Weights, src graph.NodeID, opts congest.Options) ([]float64, congest.Stats, error) {
 	if err := w.Validate(g); err != nil {
 		return nil, congest.Stats{}, fmt.Errorf("sssp: %w", err)
-	}
-	if run == nil {
-		run = congest.RunSequential
 	}
 	factory := func(v *congest.View) congest.Program {
 		return &bfNode{
@@ -68,7 +66,7 @@ func BellmanFord(g *graph.Graph, w graph.Weights, src graph.NodeID, run congest.
 			},
 		}
 	}
-	stats, progs, err := run(g, factory, maxRounds)
+	stats, progs, err := congest.Run(g, factory, opts)
 	if err != nil {
 		return nil, stats, err
 	}

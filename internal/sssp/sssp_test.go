@@ -72,7 +72,7 @@ func TestBellmanFordMatchesDijkstra(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, stats, err := BellmanFord(g, w, 0, congest.RunSequential, 100000)
+	got, stats, err := BellmanFord(g, w, 0, congest.Options{MaxRounds: 100000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestBellmanFordRoundsGrowWithHopDepth(t *testing.T) {
 	n := 60
 	g := gen.Path(n)
 	w := graph.NewUnitWeights(g.NumEdges())
-	_, stats, err := BellmanFord(g, w, 0, congest.RunSequential, 100000)
+	_, stats, err := BellmanFord(g, w, 0, congest.Options{MaxRounds: 100000})
 	if err != nil {
 		t.Fatal(err)
 	}
