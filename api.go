@@ -27,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mincut"
 	"repro/internal/mst"
+	"repro/internal/sched"
 	"repro/internal/shortcut"
 	"repro/internal/sssp"
 	"repro/internal/twoecss"
@@ -212,6 +213,16 @@ func TwoECSS(g *Graph, w Weights, opts TwoECSSOptions) (*TwoECSSResult, error) {
 
 // CongestStats aggregates simulated rounds and messages.
 type CongestStats = congest.Stats
+
+// SchedStats is the random-delay scheduler's exact cost accounting
+// (Theorem 2.1): realized rounds, messages, per-edge congestion, and peak
+// queueing. It is reported by the distributed shortcut construction
+// (DistShortcutResult.SchedStats) and tracked by lcsbench's -json output.
+// Every Workers setting threaded through DistShortcutOptions,
+// MSTDistOptions, SSSPTreeOptions, TwoECSSOptions, and MinCutApproxOptions
+// now drives the scheduler's sharded drain as well as the CONGEST engine,
+// with bit-for-bit identical results.
+type SchedStats = sched.Stats
 
 // The CONGEST node-programming vocabulary, re-exported so external modules
 // can implement their own Programs against RunCongest (the internal package

@@ -148,7 +148,7 @@ func run(args []string) error {
 		}
 	}
 	if *jsonOut {
-		return expt.WriteJSON(os.Stdout, tables)
+		return expt.WriteJSON(os.Stdout, expt.RunInfo{Engine: *engine, Workers: cfg.Workers, Seed: cfg.Seed}, tables)
 	}
 	return nil
 }

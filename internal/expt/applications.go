@@ -189,6 +189,11 @@ func E10Scheduler(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("E10: %w", err)
 	}
+	type schedRun struct {
+		Tasks int         `json:"tasks"`
+		Stats sched.Stats `json:"stats"`
+	}
+	var runs []schedRun
 	for _, k := range taskCounts {
 		tasks := make([]sched.BFSTask, k)
 		for i := range tasks {
@@ -198,15 +203,16 @@ func E10Scheduler(cfg Config) (*Table, error) {
 			}
 		}
 		out, stats, err := sched.ParallelBFS(g, tasks, sched.Options{
-			MaxDelay: k, Rng: rng,
+			MaxDelay: k, Rng: rng, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E10 k=%d: %w", k, err)
 		}
 		var deepest int32
-		for _, o := range out {
-			for _, dist := range o.Dist {
-				if dist > deepest {
+		for i := 0; i < out.NumTasks(); i++ {
+			o := out.Outcome(i)
+			for j := 0; j < o.Len(); j++ {
+				if dist := o.DistAt(j); dist > deepest {
 					deepest = dist
 				}
 			}
@@ -214,7 +220,10 @@ func E10Scheduler(cfg Config) (*Table, error) {
 		bound := float64(stats.MaxArcLoad) + float64(deepest)*math.Log2(float64(g.NumNodes()))
 		t.AddRow(I(g.NumNodes()), I(k), I(stats.MaxArcLoad), I(int(deepest)),
 			I(stats.Rounds), F(bound), F(float64(stats.Rounds)/bound))
+		runs = append(runs, schedRun{Tasks: k, Stats: stats})
 	}
+	t.SetMeta("sched_runs", runs)
+	t.SetMeta("workers", cfg.Workers)
 	return t, nil
 }
 
@@ -260,7 +269,7 @@ func E12SSSP(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E12 BF n=%d: %w", n, err)
 		}
 		res, err := sssp.TreeApprox(g, w, src, sssp.TreeOptions{
-			Rng: rng, Diameter: d, LogFactor: cfg.LogFactor,
+			Rng: rng, Diameter: d, LogFactor: cfg.LogFactor, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E12 tree n=%d: %w", n, err)
@@ -294,7 +303,7 @@ func E13TwoECSS(cfg Config) (*Table, error) {
 		}
 		w := graph.NewUniformWeights(g.NumEdges(), rng)
 		res, err := twoecss.Approx(g, w, twoecss.Options{
-			Rng: rng, LogFactor: cfg.LogFactor, Distributed: true,
+			Rng: rng, LogFactor: cfg.LogFactor, Distributed: true, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E13 n=%d: %w", n, err)
@@ -318,24 +327,33 @@ func A2Scheduling(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("A2: %w", err)
 	}
+	type schedRun struct {
+		Tasks   int         `json:"tasks"`
+		Delayed sched.Stats `json:"delayed"`
+		NoDelay sched.Stats `json:"no_delay"`
+	}
+	var runs []schedRun
 	for _, k := range []int{8, 24} {
 		tasks := make([]sched.BFSTask, k)
 		for i := range tasks {
 			tasks[i] = sched.BFSTask{Root: graph.NodeID(rng.Intn(g.NumNodes())), DepthLimit: 6}
 		}
-		with, wStats, err := sched.ParallelBFS(g, tasks, sched.Options{MaxDelay: 2 * k, Rng: rng})
+		with, wStats, err := sched.ParallelBFS(g, tasks, sched.Options{MaxDelay: 2 * k, Rng: rng, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
 		_ = with
-		without, oStats, err := sched.ParallelBFS(g, tasks, sched.Options{})
+		without, oStats, err := sched.ParallelBFS(g, tasks, sched.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
 		_ = without
 		t.AddRow(I(g.NumNodes()), I(k), I(wStats.Rounds), I(oStats.Rounds),
 			I(wStats.MaxQueue), I(oStats.MaxQueue))
+		runs = append(runs, schedRun{Tasks: k, Delayed: wStats, NoDelay: oStats})
 	}
+	t.SetMeta("sched_runs", runs)
+	t.SetMeta("workers", cfg.Workers)
 	t.AddNote("delays smooth the per-edge queue peaks; without them all tasks contend at start")
 	return t, nil
 }

@@ -20,6 +20,17 @@ type Table struct {
 	Rows    [][]string
 	// Notes are printed under the table (methodology caveats etc.).
 	Notes []string
+	// Meta carries machine-readable side data (e.g. raw scheduler Stats)
+	// emitted by WriteJSON; text and CSV rendering ignore it.
+	Meta map[string]any
+}
+
+// SetMeta attaches a machine-readable metadata entry to the table.
+func (t *Table) SetMeta(key string, value any) {
+	if t.Meta == nil {
+		t.Meta = map[string]any{}
+	}
+	t.Meta[key] = value
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -85,18 +96,37 @@ func (t *Table) CSV(w io.Writer) {
 	}
 }
 
-// WriteJSON renders tables as a JSON array of {title, columns, rows, notes}
-// objects — the machine-readable form consumed by perf-trajectory tooling.
-func WriteJSON(w io.Writer, tables []*Table) error {
+// RunInfo describes the execution configuration of a JSON-emitted run, so
+// BENCH_*.json files can track throughput across engine settings and PRs.
+type RunInfo struct {
+	// Engine is the raw -engine flag value.
+	Engine string `json:"engine"`
+	// Workers is the resolved worker count threaded through the CONGEST
+	// engine and the random-delay scheduler (0 = sequential, < 0 = one per
+	// CPU).
+	Workers int `json:"workers"`
+	// Seed is the run's base random seed.
+	Seed int64 `json:"seed"`
+}
+
+// WriteJSON renders a run as a JSON object {run, tables}, where tables is
+// the array of {title, columns, rows, notes, meta} objects — the
+// machine-readable form consumed by perf-trajectory tooling. Table Meta
+// carries raw side data such as scheduler Stats (E10/A2).
+func WriteJSON(w io.Writer, run RunInfo, tables []*Table) error {
 	type jsonTable struct {
-		Title   string     `json:"title"`
-		Columns []string   `json:"columns"`
-		Rows    [][]string `json:"rows"`
-		Notes   []string   `json:"notes,omitempty"`
+		Title   string         `json:"title"`
+		Columns []string       `json:"columns"`
+		Rows    [][]string     `json:"rows"`
+		Notes   []string       `json:"notes,omitempty"`
+		Meta    map[string]any `json:"meta,omitempty"`
 	}
-	out := make([]jsonTable, len(tables))
+	out := struct {
+		Run    RunInfo     `json:"run"`
+		Tables []jsonTable `json:"tables"`
+	}{Run: run, Tables: make([]jsonTable, len(tables))}
 	for i, t := range tables {
-		out[i] = jsonTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes}
+		out.Tables[i] = jsonTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes, Meta: t.Meta}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

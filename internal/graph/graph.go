@@ -88,24 +88,39 @@ func (g *Graph) EdgeEndpoints(e EdgeID) (u, v NodeID) {
 }
 
 // FindEdge returns the EdgeID of the undirected edge {u, v} and true if it
-// exists, or 0 and false otherwise. It runs in O(min(deg u, deg v)) time.
+// exists, or 0 and false otherwise. It runs in O(log min(deg u, deg v))
+// time via ArcBetween.
 func (g *Graph) FindEdge(u, v NodeID) (EdgeID, bool) {
 	if g.Degree(v) < g.Degree(u) {
 		u, v = v, u
 	}
-	lo, hi := g.ArcRange(u)
-	for a := lo; a < hi; a++ {
-		if g.neighbors[a] == v {
-			return g.arcEdge[a], true
-		}
+	a, ok := g.ArcBetween(u, v)
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return g.arcEdge[a], true
 }
 
 // HasEdge reports whether the undirected edge {u, v} exists.
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	_, ok := g.FindEdge(u, v)
 	return ok
+}
+
+// ArcBetween returns the directed arc u→v and true if the undirected edge
+// {u, v} exists, or 0 and false otherwise. It binary-searches u's neighbor
+// list — Build sorts every neighbor list by ID — so it runs in O(log deg u).
+// It is the lookup the random-delay scheduler uses to resolve tree edges to
+// arcs, and the membership primitive behind FindEdge/HasEdge.
+func (g *Graph) ArcBetween(u, v NodeID) (int32, bool) {
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	i := int32(sort.Search(int(hi-lo), func(i int) bool {
+		return g.neighbors[lo+int32(i)] >= v
+	}))
+	if a := lo + i; a < hi && g.neighbors[a] == v {
+		return a, true
+	}
+	return 0, false
 }
 
 // Arcs iterates over the arcs leaving u, invoking fn with the arc index,

@@ -200,3 +200,36 @@ func TestArcReverseAndTail(t *testing.T) {
 		}
 	}
 }
+
+func TestArcBetween(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 80
+	b := NewBuilder(n)
+	for i := 0; i < 300; i++ {
+		b.TryAddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	g := b.Build()
+	// Every existing arc is found and points the right way; ArcBetween must
+	// agree with a linear scan in both directions.
+	for u := 0; u < n; u++ {
+		lo, hi := g.ArcRange(NodeID(u))
+		for a := lo; a < hi; a++ {
+			v := g.ArcTarget(a)
+			got, ok := g.ArcBetween(NodeID(u), v)
+			if !ok || got != a {
+				t.Fatalf("ArcBetween(%d,%d) = (%d,%v), want (%d,true)", u, v, got, ok, a)
+			}
+			back, ok := g.ArcBetween(v, NodeID(u))
+			if !ok || back != g.ArcReverse(a) {
+				t.Fatalf("ArcBetween(%d,%d) = (%d,%v), want reverse arc %d", v, u, back, ok, g.ArcReverse(a))
+			}
+		}
+	}
+	// Absent pairs (including self-pairs) report false.
+	for i := 0; i < 500; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if _, ok := g.ArcBetween(u, v); ok != g.HasEdge(u, v) {
+			t.Fatalf("ArcBetween(%d,%d) existence = %v, HasEdge = %v", u, v, ok, g.HasEdge(u, v))
+		}
+	}
+}

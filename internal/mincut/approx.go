@@ -23,6 +23,9 @@ type ApproxOptions struct {
 	// through the distributed shortcut-MST (true) or centrally via Kruskal
 	// with zero round accounting (false, for fast correctness tests).
 	Distributed bool
+	// Workers selects the parallelism of the distributed MST (engine and
+	// scheduler); 0 = sequential. Results are identical for every setting.
+	Workers int
 }
 
 // ApproxResult is the outcome of Approx.
@@ -88,6 +91,7 @@ func Approx(g *graph.Graph, w graph.Weights, opts ApproxOptions) (*ApproxResult,
 				Rng:       opts.Rng,
 				Diameter:  opts.Diameter,
 				LogFactor: opts.LogFactor,
+				Workers:   opts.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("mincut: packing tree %d: %w", t, err)

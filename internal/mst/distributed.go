@@ -28,8 +28,10 @@ type DistOptions struct {
 	// convergecast, result broadcast, fragment-ID exchange) are simulated
 	// and charged — the per-phase costs that dominate the framework.
 	SimulateConstruction bool
-	// Workers selects the CONGEST engine parallelism for the simulated
-	// construction phases (see congest.Options); 0 = sequential.
+	// Workers selects the execution parallelism of the simulated
+	// construction phases (congest.Options) and of the random-delay
+	// scheduled MWOE phases (sched.Options); 0 = sequential. All settings
+	// produce identical results.
 	Workers int
 	// DepthFactor as in shortcut.DistOptions (0 = 2).
 	DepthFactor float64
@@ -84,6 +86,11 @@ func Distributed(g *graph.Graph, w graph.Weights, opts DistOptions) (*DistResult
 
 	res := &DistResult{}
 	uf := NewUnionFind(n)
+	// Scheduler state reused across phases (runner, extraction forest, and
+	// winners buffer): allocation-free steady state.
+	var sr sched.Runner
+	var forest sched.BFSForest
+	var winners []sched.AggValue
 
 	for {
 		fragments := fragmentLists(g, uf)
@@ -133,7 +140,8 @@ func Distributed(g *graph.Graph, w graph.Weights, opts DistOptions) (*DistResult
 		res.Rounds++
 		res.Messages += int64(g.NumArcs())
 
-		winners, qualityHint, err := mwoePhase(g, w, p, sc, uf, depthFactor, opts, res)
+		var qualityHint int
+		winners, qualityHint, err = mwoePhase(g, w, p, sc, uf, depthFactor, opts, &sr, &forest, winners, res)
 		if err != nil {
 			return nil, fmt.Errorf("mst: phase %d MWOE: %w", res.Phases, err)
 		}
@@ -171,6 +179,9 @@ func mwoePhase(
 	uf *UnionFind,
 	depthFactor float64,
 	opts DistOptions,
+	sr *sched.Runner,
+	forest *sched.BFSForest,
+	winners []sched.AggValue,
 	res *DistResult,
 ) ([]sched.AggValue, int, error) {
 	n := g.NumNodes()
@@ -217,22 +228,25 @@ func mwoePhase(
 			DepthLimit: depthLimit,
 		}
 	}
-	out, st, err := sched.ParallelBFS(g, tasks, sched.Options{
+	st, err := sr.ParallelBFSInto(forest, g, tasks, sched.Options{
 		MaxDelay:  int(math.Ceil(kd)),
 		Rng:       opts.Rng,
 		MaxRounds: opts.MaxRounds,
+		Workers:   opts.Workers,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("scheduled BFS: %w", err)
 	}
+	out := forest
 	res.Rounds += st.Rounds
 	res.Messages += st.Messages
 
 	// Dilation realized by the trees + realized congestion ⇒ quality hint.
 	var deepest int32
-	for _, o := range out {
-		for _, dist := range o.Dist {
-			if dist > deepest {
+	for i := 0; i < out.NumTasks(); i++ {
+		o := out.Outcome(i)
+		for j := 0; j < o.Len(); j++ {
+			if dist := o.DistAt(j); dist > deepest {
 				deepest = dist
 			}
 		}
@@ -241,8 +255,10 @@ func mwoePhase(
 
 	aggTasks := make([]sched.AggTask, numParts)
 	for i := 0; i < numParts; i++ {
-		local := make(map[graph.NodeID]sched.AggValue, len(out[i].Dist))
-		for v := range out[i].Dist {
+		o := out.Outcome(i)
+		local := make([]sched.AggValue, o.Len())
+		for j := range local {
+			v := o.Node(j)
 			best := sched.AggValue{}
 			if p.PartOf(v) == int32(i) {
 				rv := uf.Find(v)
@@ -257,19 +273,19 @@ func mwoePhase(
 					return true
 				})
 			}
-			local[v] = best
+			local[j] = best
 		}
 		aggTasks[i] = sched.AggTask{
-			Root:     p.Part(i).Leader,
-			Parent:   out[i].Parent,
-			Children: out[i].Children,
-			Local:    local,
+			Root:  p.Part(i).Leader,
+			Tree:  o,
+			Local: local,
 		}
 	}
-	winners, st2, err := sched.ParallelMinAggregate(g, aggTasks, sched.Options{
+	winners, st2, err := sr.ParallelMinAggregateInto(winners, g, aggTasks, sched.Options{
 		MaxDelay:  int(math.Ceil(kd)),
 		Rng:       opts.Rng,
 		MaxRounds: opts.MaxRounds,
+		Workers:   opts.Workers,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("MWOE aggregate: %w", err)

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 )
@@ -34,176 +33,142 @@ func (a AggValue) Better(b AggValue) bool {
 }
 
 // AggTask is one convergecast-plus-broadcast over a rooted tree embedded in
-// the shared network. Tree topology comes from a prior ParallelBFS outcome.
+// the shared network. Tree is usually a prior ParallelBFS outcome (whose
+// parent and children arcs are exactly the convergecast and broadcast
+// directions); hand-built trees come from NewTree, which resolves map-form
+// tree edges to arcs and rejects edges outside the graph and non-member
+// references — the errors the seed scheduler only caught mid-run.
 type AggTask struct {
+	// Root is informational; the tree's root is the node with no parent arc.
 	Root graph.NodeID
-	// Parent maps each non-root tree node to its tree parent.
-	Parent map[graph.NodeID]graph.NodeID
-	// Children maps each tree node to its tree children.
-	Children map[graph.NodeID][]graph.NodeID
-	// Local is each participating node's initial candidate value.
-	Local map[graph.NodeID]AggValue
+	Tree BFSOutcome
+	// Local[i] is the initial candidate value of Tree.Node(i).
+	Local []AggValue
 }
 
+// aggToken is the scheduler's aggregation message.
 type aggToken struct {
 	task int32
 	kind uint8 // 0 = up (convergecast), 1 = down (broadcast result)
 	val  AggValue
 }
 
-// ParallelMinAggregate runs all tasks' min-convergecasts and result
-// broadcasts concurrently under the shared one-token-per-arc-per-round
-// constraint, returning the per-task global minimum (as known at the root
-// and broadcast to every participant).
-func ParallelMinAggregate(g *graph.Graph, tasks []AggTask, opts Options) ([]AggValue, Stats, error) {
-	if opts.MaxDelay > 0 && opts.Rng == nil {
-		return nil, Stats{}, fmt.Errorf("sched: MaxDelay %d requires Rng", opts.MaxDelay)
-	}
-	type nodeState struct {
-		waiting int
-		acc     AggValue
-	}
-	states := make([]map[graph.NodeID]*nodeState, len(tasks))
-	results := make([]AggValue, len(tasks))
-
-	qs := newQueues[aggToken](g.NumArcs())
-	var stats Stats
-
-	arcTo := func(u, v graph.NodeID) (int32, error) {
-		lo, hi := g.ArcRange(u)
-		for a := lo; a < hi; a++ {
-			if g.ArcTarget(a) == v {
-				return a, nil
-			}
-		}
-		return 0, fmt.Errorf("sched: no arc %d->%d (tree edge outside graph)", u, v)
-	}
-
-	var firstErr error
-	sendUp := func(ti int32, u graph.NodeID) {
-		t := &tasks[ti]
-		st := states[ti][u]
-		if p, ok := t.Parent[u]; ok {
-			a, err := arcTo(u, p)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			qs.push(a, aggToken{task: ti, kind: 0, val: st.acc})
-			return
-		}
-		// Root: convergecast complete; broadcast the winner down.
-		results[ti] = st.acc
-		for _, c := range t.Children[u] {
-			a, err := arcTo(u, c)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			qs.push(a, aggToken{task: ti, kind: 1, val: st.acc})
-		}
-	}
-
-	// Initialize: leaves fire immediately (time-based synchronization — after
-	// the BFS phase, every node knows the phase deadline and hence whether it
-	// has children).
-	starts := make(map[int][]int32)
-	lastStart := 0
-	for i := range tasks {
-		delay := 0
-		if opts.MaxDelay > 0 {
-			delay = opts.Rng.Intn(opts.MaxDelay + 1)
-		}
-		starts[delay] = append(starts[delay], int32(i))
-		if delay > lastStart {
-			lastStart = delay
-		}
-	}
-
-	startTask := func(ti int32) {
-		t := &tasks[ti]
-		states[ti] = make(map[graph.NodeID]*nodeState, len(t.Local))
-		members := make([]graph.NodeID, 0, len(t.Local))
-		for u := range t.Local {
-			members = append(members, u)
-		}
-		// Deterministic iteration order.
-		sortNodeIDs(members)
-		for _, u := range members {
-			states[ti][u] = &nodeState{waiting: len(t.Children[u]), acc: t.Local[u]}
-		}
-		for _, u := range members {
-			if states[ti][u].waiting == 0 {
-				sendUp(ti, u)
-			}
-		}
-	}
-
-	deliver := func(arc int32, tk aggToken) {
-		v := g.ArcTarget(arc)
-		st := states[tk.task][v]
-		if st == nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("sched: task %d token reached non-member node %d", tk.task, v)
-			}
-			return
-		}
-		switch tk.kind {
-		case 0:
-			if tk.val.Better(st.acc) {
-				st.acc = tk.val
-			}
-			st.waiting--
-			if st.waiting == 0 {
-				sendUp(tk.task, v)
-			}
-		case 1:
-			st.acc = tk.val
-			t := &tasks[tk.task]
-			for _, c := range t.Children[v] {
-				a, err := arcTo(v, c)
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				qs.push(a, aggToken{task: tk.task, kind: 1, val: tk.val})
-			}
-		}
-	}
-
-	maxRounds := opts.maxRounds(64*(g.NumNodes()+len(tasks)) + lastStart + 64)
-	round := 0
-	for {
-		if ts, ok := starts[round]; ok {
-			for _, ti := range ts {
-				startTask(ti)
-			}
-			delete(starts, round)
-		}
-		if firstErr != nil {
-			return results, stats, firstErr
-		}
-		if len(qs.active) == 0 && len(starts) == 0 {
-			break
-		}
-		if round >= maxRounds {
-			return results, stats, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
-		}
-		stats.Messages += int64(qs.drainOne(deliver))
-		round++
-	}
-	stats.Rounds = round
-	stats.MaxArcLoad = qs.maxLoad()
-	stats.MaxQueue = qs.maxQ
-	return results, stats, nil
+// aggRun is the drain handler of one ParallelMinAggregate execution.
+// Per-member state lives in the Runner's flat waiting/acc arrays at
+// stateOff[task]+memberIndex; a member's slots are only touched by its
+// owner shard.
+type aggRun struct {
+	r     *Runner
+	g     *graph.Graph
+	tasks []AggTask
+	out   []AggValue
 }
 
-func sortNodeIDs(s []graph.NodeID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+// start initializes a task's members (in ascending node order, like the
+// seed) and fires its leaves — time-based synchronization: after the BFS
+// phase every node knows the phase deadline and hence whether it has
+// children.
+func (h *aggRun) start(ti int32) {
+	r := h.r
+	t := &h.tasks[ti]
+	off := r.stateOff[ti]
+	n := t.Tree.Len()
+	for i := 0; i < n; i++ {
+		r.waiting[off+int32(i)] = int32(len(t.Tree.ChildArcsAt(i)))
+		r.acc[off+int32(i)] = t.Local[i]
+	}
+	for i := 0; i < n; i++ {
+		if r.waiting[off+int32(i)] == 0 {
+			h.sendUp(ti, i, -1, -1)
+		}
+	}
+}
+
+// sendUp forwards a node's accumulated value to its parent, or — at the
+// root — publishes the task result and starts the downward broadcast.
+// sh < 0 marks the coordinator (start-time) path.
+func (h *aggRun) sendUp(ti int32, i int, sh int, pos int32) {
+	r := h.r
+	t := &h.tasks[ti]
+	val := r.acc[r.stateOff[ti]+int32(i)]
+	if pa := t.Tree.ParentArcAt(i); pa >= 0 {
+		h.emit(sh, pos, h.g.ArcReverse(pa), aggToken{task: ti, kind: 0, val: val})
+		return
+	}
+	h.out[ti] = val
+	for _, ca := range t.Tree.ChildArcsAt(i) {
+		h.emit(sh, pos, ca, aggToken{task: ti, kind: 1, val: val})
+	}
+}
+
+func (h *aggRun) emit(sh int, pos int32, arc int32, tk aggToken) {
+	if sh < 0 {
+		h.r.agg.seed(arc, tk)
+		return
+	}
+	h.r.agg.send(sh, pos, arc, tk)
+}
+
+func (h *aggRun) deliver(sh int, pos int32, arc int32, tk aggToken) {
+	r := h.r
+	t := &h.tasks[tk.task]
+	i, ok := t.Tree.Index(h.g.ArcTarget(arc))
+	if !ok {
+		return // unreachable for validated tasks: tokens ride tree arcs only
+	}
+	gi := r.stateOff[tk.task] + int32(i)
+	switch tk.kind {
+	case 0:
+		if tk.val.Better(r.acc[gi]) {
+			r.acc[gi] = tk.val
+		}
+		r.waiting[gi]--
+		if r.waiting[gi] == 0 {
+			h.sendUp(tk.task, i, sh, pos)
+		}
+	case 1:
+		r.acc[gi] = tk.val
+		for _, ca := range t.Tree.ChildArcsAt(i) {
+			r.agg.send(sh, pos, ca, aggToken{task: tk.task, kind: 1, val: tk.val})
+		}
+	}
+}
+
+// ParallelMinAggregateInto runs ParallelMinAggregate writing results into
+// dst (grown if needed), reusing the Runner's buffers; with a reused Runner
+// and dst the execution is allocation-free in steady state.
+func (r *Runner) ParallelMinAggregateInto(dst []AggValue, g *graph.Graph, tasks []AggTask, opts Options) ([]AggValue, Stats, error) {
+	if err := r.starts.plan(len(tasks), opts); err != nil {
+		return nil, Stats{}, err
+	}
+	r.stateOff = resize(r.stateOff, len(tasks)+1)
+	r.stateOff[0] = 0
+	for i := range tasks {
+		t := &tasks[i]
+		if len(t.Local) != t.Tree.Len() {
+			return nil, Stats{}, fmt.Errorf("sched: task %d: %d Local values for %d tree nodes", i, len(t.Local), t.Tree.Len())
+		}
+		if t.Tree.Len() > 0 && t.Tree.Graph() != g {
+			return nil, Stats{}, fmt.Errorf("sched: task %d: tree belongs to a different graph", i)
+		}
+		r.stateOff[i+1] = r.stateOff[i] + int32(t.Tree.Len())
+	}
+	total := int(r.stateOff[len(tasks)])
+	r.waiting = resize(r.waiting, total)
+	r.acc = resize(r.acc, total)
+	dst = resize(dst, len(tasks))
+	for i := range dst {
+		dst[i] = AggValue{}
+	}
+
+	d := &r.agg
+	d.prepare(g, opts.Workers)
+	r.aggRun = aggRun{r: r, g: g, tasks: tasks, out: dst}
+	d.h = &r.aggRun
+
+	maxRounds := opts.maxRounds(64*(g.NumNodes()+len(tasks)) + r.starts.last + 64)
+	d.startPool()
+	stats, err := d.drive(&r.starts, maxRounds)
+	d.stopPool()
+	return dst, stats, err
 }

@@ -14,6 +14,16 @@
 // subgraphs G[Si]∪Hi at once) and ParallelMinAggregate (used by the MST
 // algorithm to convergecast minimum-weight outgoing edges over fragment
 // trees and broadcast the winners back).
+//
+// Like the CONGEST engine, the scheduler runs on flat arc-indexed state: an
+// epoch-tagged queue descriptor per directed arc (inline front token plus an
+// arena-backed ring for backlog), an ordered worklist of active arcs, and
+// dense per-task visited/dist/parent arrays (with an epoch-tagged hash
+// fallback for huge task counts) — no maps, no steady-state allocation in
+// the round loop. A Runner can be reused across executions to amortize
+// every buffer; Options.Workers shards the drain across a worker pool with
+// bit-for-bit identical results (see drain.go for the determinism
+// argument).
 package sched
 
 import (
@@ -49,6 +59,14 @@ type Options struct {
 	// Rng supplies the shared randomness for start delays. Must be non-nil
 	// when MaxDelay > 0.
 	Rng *rand.Rand
+	// Workers selects the execution mode of the drain. 0 or 1 runs the
+	// deterministic single-goroutine path; k > 1 shards each round's token
+	// deliveries over a pool of k workers; any negative value selects
+	// runtime.GOMAXPROCS(0) workers. Every setting produces bit-for-bit
+	// identical outcomes and Stats. When Workers > 1, task filters
+	// (BFSTask.Allowed) are called concurrently and must be safe for
+	// concurrent read-only use — every filter in this repository is.
+	Workers int
 }
 
 func (o Options) maxRounds(def int) int {
@@ -66,183 +84,124 @@ type BFSTask struct {
 	DepthLimit int32
 }
 
-// BFSOutcome is the per-task result of ParallelBFS. Maps are keyed by node;
-// only visited nodes appear.
-type BFSOutcome struct {
-	Dist   map[graph.NodeID]int32
-	Parent map[graph.NodeID]graph.NodeID
-	// Children lists tree children per node (filled via explicit upward
-	// notification tokens, so the cost of learning them is accounted for).
-	Children map[graph.NodeID][]graph.NodeID
-}
+// Runner owns the reusable flat state of scheduled executions: arc queues,
+// chunk arenas, worklists, visit arenas, and the epoch-tagged visit set.
+// The zero value is ready to use. Reusing one Runner across executions (as
+// the shortcut construction does across diameter guesses and the MST across
+// Borůvka phases) makes the round loop allocation-free in steady state.
+// A Runner must not be used concurrently.
+type Runner struct {
+	bfs       drainer[bfsToken]
+	agg       drainer[aggToken]
+	bfsShards []bfsShardState
+	starts    startPlan
+	bfsRun    bfsRun
+	aggRun    aggRun
+	sorter    forestSorter
 
-type bfsToken struct {
-	task int32
-	kind uint8 // 0 = visit token carrying dist, 1 = child notification
-	dist int32
-	// The sender is not carried: it is always the tail of the arc the token
-	// rides, i.e. graph.ArcTail(arc) at delivery time.
-}
+	// dense per-(task, node) BFS state (see bfs.go)
+	denseBits   []uint64    // visited bitset, task-row word stride
+	dense       []denseCell // dist/parc, indexed task·n+node
+	denseVis    []int32     // extraction-time forest slots, indexed task·n+node
+	slotScratch []int32
 
-// queues is a per-arc FIFO with an active-arc worklist, the shared machinery
-// of both scheduled executions.
-type queues[T any] struct {
-	q      [][]T
-	active []int32
-	inList []bool
-	load   []int
-	maxQ   int
-}
-
-func newQueues[T any](numArcs int) *queues[T] {
-	return &queues[T]{
-		q:      make([][]T, numArcs),
-		inList: make([]bool, numArcs),
-		load:   make([]int, numArcs),
-	}
-}
-
-func (qs *queues[T]) push(arc int32, t T) {
-	qs.q[arc] = append(qs.q[arc], t)
-	qs.load[arc]++
-	if len(qs.q[arc]) > qs.maxQ {
-		qs.maxQ = len(qs.q[arc])
-	}
-	if !qs.inList[arc] {
-		qs.inList[arc] = true
-		qs.active = append(qs.active, arc)
-	}
-}
-
-// drainOne pops one token from every active arc, invoking deliver for each.
-// Tokens pushed during delivery are not popped until the next call.
-func (qs *queues[T]) drainOne(deliver func(arc int32, t T)) (delivered int) {
-	arcs := qs.active
-	qs.active = qs.active[len(qs.active):]
-	for _, a := range arcs {
-		qs.inList[a] = false
-	}
-	type pop struct {
-		arc int32
-		t   T
-	}
-	pops := make([]pop, 0, len(arcs))
-	for _, a := range arcs {
-		head := qs.q[a][0]
-		qs.q[a] = qs.q[a][1:]
-		pops = append(pops, pop{arc: a, t: head})
-	}
-	// Re-activate arcs that still hold tokens before deliveries push more.
-	for _, a := range arcs {
-		if len(qs.q[a]) > 0 && !qs.inList[a] {
-			qs.inList[a] = true
-			qs.active = append(qs.active, a)
-		}
-	}
-	for _, p := range pops {
-		deliver(p.arc, p.t)
-	}
-	return len(pops)
-}
-
-func (qs *queues[T]) maxLoad() int {
-	m := 0
-	for _, l := range qs.load {
-		if l > m {
-			m = l
-		}
-	}
-	return m
+	// aggregate per-member state, indexed stateOff[task]+memberIndex
+	stateOff []int32
+	waiting  []int32
+	acc      []AggValue
 }
 
 // ParallelBFS grows all tasks' truncated BFS trees concurrently under
 // random-delay scheduling and returns per-task outcomes plus exact cost
-// accounting.
-func ParallelBFS(g *graph.Graph, tasks []BFSTask, opts Options) ([]*BFSOutcome, Stats, error) {
+// accounting. The package-level function allocates a fresh Runner; loops
+// should hold one Runner and call its methods instead.
+func ParallelBFS(g *graph.Graph, tasks []BFSTask, opts Options) (*BFSForest, Stats, error) {
+	var r Runner
+	return r.ParallelBFS(g, tasks, opts)
+}
+
+// ParallelMinAggregate runs all tasks' min-convergecasts and result
+// broadcasts concurrently under the shared one-token-per-arc-per-round
+// constraint, returning the per-task global minimum (as known at the root
+// and broadcast to every participant).
+func ParallelMinAggregate(g *graph.Graph, tasks []AggTask, opts Options) ([]AggValue, Stats, error) {
+	var r Runner
+	return r.ParallelMinAggregate(g, tasks, opts)
+}
+
+// ParallelBFS is the Runner-reusing form of the package-level ParallelBFS.
+func (r *Runner) ParallelBFS(g *graph.Graph, tasks []BFSTask, opts Options) (*BFSForest, Stats, error) {
+	f := &BFSForest{}
+	stats, err := r.ParallelBFSInto(f, g, tasks, opts)
+	return f, stats, err
+}
+
+// ParallelMinAggregate is the Runner-reusing form of the package-level
+// ParallelMinAggregate.
+func (r *Runner) ParallelMinAggregate(g *graph.Graph, tasks []AggTask, opts Options) ([]AggValue, Stats, error) {
+	return r.ParallelMinAggregateInto(nil, g, tasks, opts)
+}
+
+// startPlan schedules task starts: delays drawn task-by-task (the same Rng
+// consumption order as ever), bucketed into a counting-sorted order so the
+// round loop replays them with two cursor reads and no map.
+type startPlan struct {
+	delay []int32 // per task
+	order []int32 // task indices sorted by (delay, index)
+	count []int32 // scratch for the counting sort
+	next  int     // cursor into order
+	last  int     // largest delay drawn
+}
+
+func (sp *startPlan) plan(numTasks int, opts Options) error {
 	if opts.MaxDelay > 0 && opts.Rng == nil {
-		return nil, Stats{}, fmt.Errorf("sched: MaxDelay %d requires Rng", opts.MaxDelay)
+		return fmt.Errorf("sched: MaxDelay %d requires Rng", opts.MaxDelay)
 	}
-	outcomes := make([]*BFSOutcome, len(tasks))
-	starts := make(map[int][]int32) // round -> task indices starting then
-	lastStart := 0
-	for i := range tasks {
-		outcomes[i] = &BFSOutcome{
-			Dist:     make(map[graph.NodeID]int32),
-			Parent:   make(map[graph.NodeID]graph.NodeID),
-			Children: make(map[graph.NodeID][]graph.NodeID),
-		}
-		delay := 0
+	maxDelay := opts.MaxDelay
+	if maxDelay < 0 {
+		maxDelay = 0 // any non-positive window means no delays, as ever
+	}
+	sp.delay = resize(sp.delay, numTasks)
+	sp.order = resize(sp.order, numTasks)
+	sp.count = resize(sp.count, maxDelay+2)
+	for i := range sp.count {
+		sp.count[i] = 0
+	}
+	sp.last = 0
+	for i := 0; i < numTasks; i++ {
+		d := 0
 		if opts.MaxDelay > 0 {
-			delay = opts.Rng.Intn(opts.MaxDelay + 1)
+			d = opts.Rng.Intn(opts.MaxDelay + 1)
 		}
-		starts[delay] = append(starts[delay], int32(i))
-		if delay > lastStart {
-			lastStart = delay
-		}
-	}
-
-	qs := newQueues[bfsToken](g.NumArcs())
-	var stats Stats
-	maxRounds := opts.maxRounds(64*(g.NumNodes()+len(tasks)) + lastStart + 64)
-
-	expand := func(task int32, u graph.NodeID, dist int32) {
-		t := &tasks[task]
-		if t.DepthLimit >= 0 && dist >= t.DepthLimit {
-			return
-		}
-		lo, hi := g.ArcRange(u)
-		for a := lo; a < hi; a++ {
-			v := g.ArcTarget(a)
-			e := g.ArcEdge(a)
-			if t.Allowed != nil && !t.Allowed(a, u, v, e) {
-				continue
-			}
-			qs.push(a, bfsToken{task: task, kind: 0, dist: dist})
+		sp.delay[i] = int32(d)
+		sp.count[d]++
+		if d > sp.last {
+			sp.last = d
 		}
 	}
-
-	deliver := func(arc int32, tk bfsToken) {
-		v := g.ArcTarget(arc)
-		out := outcomes[tk.task]
-		switch tk.kind {
-		case 0:
-			if _, seen := out.Dist[v]; seen {
-				return
-			}
-			out.Dist[v] = tk.dist + 1
-			out.Parent[v] = g.ArcTail(arc)
-			// Notify the parent over the reverse direction of this edge; the
-			// notification shares bandwidth with everything else.
-			qs.push(g.ArcReverse(arc), bfsToken{task: tk.task, kind: 1})
-			expand(tk.task, v, tk.dist+1)
-		case 1:
-			out.Children[v] = append(out.Children[v], g.ArcTail(arc))
-		}
+	var sum int32
+	for d := range sp.count {
+		c := sp.count[d]
+		sp.count[d] = sum
+		sum += c
 	}
-
-	round := 0
-	for {
-		if ts, ok := starts[round]; ok {
-			for _, ti := range ts {
-				t := &tasks[ti]
-				if _, seen := outcomes[ti].Dist[t.Root]; !seen {
-					outcomes[ti].Dist[t.Root] = 0
-					expand(ti, t.Root, 0)
-				}
-			}
-			delete(starts, round)
-		}
-		if len(qs.active) == 0 && len(starts) == 0 {
-			break
-		}
-		if round >= maxRounds {
-			return outcomes, stats, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
-		}
-		stats.Messages += int64(qs.drainOne(deliver))
-		round++
+	for i := 0; i < numTasks; i++ {
+		d := sp.delay[i]
+		sp.order[sp.count[d]] = int32(i)
+		sp.count[d]++
 	}
-	stats.Rounds = round
-	stats.MaxArcLoad = qs.maxLoad()
-	stats.MaxQueue = qs.maxQ
-	return outcomes, stats, nil
+	sp.next = 0
+	return nil
+}
+
+// pending reports whether starts remain; drainer.drive replays due starts
+// directly off order/delay.
+func (sp *startPlan) pending() bool { return sp.next < len(sp.order) }
+
+// resize returns s with length n, reusing capacity.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

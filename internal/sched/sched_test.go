@@ -18,9 +18,9 @@ func TestParallelBFSSingleTaskMatchesBFS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := out[0]
+	res := out.Outcome(0)
 	for v := 0; v < g.NumNodes(); v++ {
-		d, ok := res.Dist[graph.NodeID(v)]
+		d, ok := res.Dist(graph.NodeID(v))
 		if want.Dist[v] == graph.Unreached {
 			if ok {
 				t.Errorf("node %d reached but should not be", v)
@@ -47,13 +47,14 @@ func TestParallelBFSDepthLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for v, d := range out[0].Dist {
-		if d > 5 {
-			t.Errorf("node %d at dist %d beyond limit", v, d)
+	o := out.Outcome(0)
+	for i := 0; i < o.Len(); i++ {
+		if d := o.DistAt(i); d > 5 {
+			t.Errorf("node %d at dist %d beyond limit", o.Node(i), d)
 		}
 	}
-	if len(out[0].Dist) != 6 {
-		t.Errorf("visited %d nodes, want 6", len(out[0].Dist))
+	if o.Len() != 6 {
+		t.Errorf("visited %d nodes, want 6", o.Len())
 	}
 }
 
@@ -74,18 +75,19 @@ func TestParallelBFSRespectsFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for v := range out[0].Dist {
-		if v > 4 {
-			t.Errorf("task 0 visited %d", v)
+	o0, o1 := out.Outcome(0), out.Outcome(1)
+	for i := 0; i < o0.Len(); i++ {
+		if o0.Node(i) > 4 {
+			t.Errorf("task 0 visited %d", o0.Node(i))
 		}
 	}
-	for v := range out[1].Dist {
-		if v < 5 {
-			t.Errorf("task 1 visited %d", v)
+	for i := 0; i < o1.Len(); i++ {
+		if o1.Node(i) < 5 {
+			t.Errorf("task 1 visited %d", o1.Node(i))
 		}
 	}
-	if len(out[0].Dist) != 5 || len(out[1].Dist) != 5 {
-		t.Errorf("coverage: %d and %d nodes", len(out[0].Dist), len(out[1].Dist))
+	if o0.Len() != 5 || o1.Len() != 5 {
+		t.Errorf("coverage: %d and %d nodes", o0.Len(), o1.Len())
 	}
 }
 
@@ -96,20 +98,23 @@ func TestParallelBFSChildrenConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := out[0]
+	res := out.Outcome(0)
 	// Every non-root visited node appears exactly once as a child of its
 	// parent.
 	childOf := make(map[graph.NodeID]graph.NodeID)
-	for p, kids := range res.Children {
-		for _, c := range kids {
+	for i := 0; i < res.Len(); i++ {
+		p := res.Node(i)
+		for _, a := range res.ChildArcsAt(i) {
+			c := g.ArcTarget(a)
 			if prev, dup := childOf[c]; dup {
 				t.Fatalf("node %d is child of both %d and %d", c, prev, p)
 			}
 			childOf[c] = p
 		}
 	}
-	for v, p := range res.Parent {
-		if childOf[v] != p {
+	for i := 0; i < res.Len(); i++ {
+		v := res.Node(i)
+		if p := res.ParentAt(i); p >= 0 && childOf[v] != p {
 			t.Errorf("node %d: parent %d but child-link says %d", v, p, childOf[v])
 		}
 	}
@@ -128,9 +133,9 @@ func TestParallelBFSManyTasksCongestion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, res := range out {
-		if len(res.Dist) != g.NumNodes() {
-			t.Errorf("task %d visited %d of %d nodes", i, len(res.Dist), g.NumNodes())
+	for i := range tasks {
+		if o := out.Outcome(i); o.Len() != g.NumNodes() {
+			t.Errorf("task %d visited %d of %d nodes", i, o.Len(), g.NumNodes())
 		}
 	}
 	if stats.MaxArcLoad < len(tasks) {
@@ -156,9 +161,10 @@ func TestParallelBFSSchedulerBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	var d int32
-	for _, res := range out {
-		for _, dist := range res.Dist {
-			if dist > d {
+	for ti := range tasks {
+		o := out.Outcome(ti)
+		for i := 0; i < o.Len(); i++ {
+			if dist := o.DistAt(i); dist > d {
 				d = dist
 			}
 		}
@@ -181,33 +187,32 @@ func TestParallelBFSErrors(t *testing.T) {
 	}
 }
 
-func buildAggTask(t *testing.T, g *graph.Graph, root graph.NodeID, vals map[graph.NodeID]AggValue) AggTask {
+func buildAggTask(t *testing.T, g *graph.Graph, root graph.NodeID, val func(graph.NodeID) AggValue) AggTask {
 	t.Helper()
 	out, _, err := ParallelBFS(g, []BFSTask{{Root: root, DepthLimit: -1}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return AggTask{
-		Root:     root,
-		Parent:   out[0].Parent,
-		Children: out[0].Children,
-		Local:    vals,
+	o := out.Outcome(0)
+	local := make([]AggValue, o.Len())
+	for i := range local {
+		local[i] = val(o.Node(i))
 	}
+	return AggTask{Root: root, Tree: o, Local: local}
 }
 
 func TestParallelMinAggregateSingle(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	g := gen.ErdosRenyi(50, 0.08, rng)
-	vals := make(map[graph.NodeID]AggValue, 50)
+	vals := make([]AggValue, 50)
 	best := AggValue{}
 	for v := 0; v < 50; v++ {
-		av := AggValue{Weight: rng.Float64(), Edge: graph.EdgeID(v), Valid: true}
-		vals[graph.NodeID(v)] = av
-		if av.Better(best) {
-			best = av
+		vals[v] = AggValue{Weight: rng.Float64(), Edge: graph.EdgeID(v), Valid: true}
+		if vals[v].Better(best) {
+			best = vals[v]
 		}
 	}
-	task := buildAggTask(t, g, 0, vals)
+	task := buildAggTask(t, g, 0, func(v graph.NodeID) AggValue { return vals[v] })
 	results, stats, err := ParallelMinAggregate(g, []AggTask{task}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -222,12 +227,12 @@ func TestParallelMinAggregateSingle(t *testing.T) {
 
 func TestParallelMinAggregateInvalidValues(t *testing.T) {
 	g := gen.Path(5)
-	vals := make(map[graph.NodeID]AggValue, 5)
-	for v := 0; v < 5; v++ {
-		vals[graph.NodeID(v)] = AggValue{} // all invalid
-	}
-	vals[3] = AggValue{Weight: 2.5, Edge: 7, Valid: true}
-	task := buildAggTask(t, g, 0, vals)
+	task := buildAggTask(t, g, 0, func(v graph.NodeID) AggValue {
+		if v == 3 {
+			return AggValue{Weight: 2.5, Edge: 7, Valid: true}
+		}
+		return AggValue{} // invalid
+	})
 	results, _, err := ParallelMinAggregate(g, []AggTask{task}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -248,11 +253,13 @@ func TestParallelMinAggregateManyTasks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		vals := make(map[graph.NodeID]AggValue)
-		for v := range out[0].Dist {
-			vals[v] = AggValue{Weight: float64(v), Edge: graph.EdgeID(v), Valid: true}
+		o := out.Outcome(0)
+		local := make([]AggValue, o.Len())
+		for i := range local {
+			v := o.Node(i)
+			local[i] = AggValue{Weight: float64(v), Edge: graph.EdgeID(v), Valid: true}
 		}
-		return AggTask{Root: root, Parent: out[0].Parent, Children: out[0].Children, Local: vals}
+		return AggTask{Root: root, Tree: o, Local: local}
 	}
 	rng := rand.New(rand.NewSource(6))
 	tasks := []AggTask{mk(0, 5, 2), mk(6, 11, 9)}
@@ -302,9 +309,25 @@ func TestNoDelayDeterminism(t *testing.T) {
 	if stats1 != stats2 {
 		t.Errorf("stats differ across identical runs: %+v vs %+v", stats1, stats2)
 	}
-	for i := range out1 {
-		if len(out1[i].Dist) != len(out2[i].Dist) {
+	for i := range tasks {
+		if out1.Outcome(i).Len() != out2.Outcome(i).Len() {
 			t.Errorf("task %d visited sets differ", i)
 		}
+	}
+}
+
+func TestNegativeMaxDelayMeansNoDelay(t *testing.T) {
+	// The seed treated any non-positive MaxDelay as "no delays"; so do we.
+	g := gen.Path(8)
+	want, wantStats, err := ParallelBFS(g, []BFSTask{{Root: 0, DepthLimit: -1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats, err := ParallelBFS(g, []BFSTask{{Root: 0, DepthLimit: -1}}, Options{MaxDelay: -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != wantStats || got.Outcome(0).Len() != want.Outcome(0).Len() {
+		t.Errorf("MaxDelay -3 diverged: %+v vs %+v", gotStats, wantStats)
 	}
 }

@@ -17,10 +17,11 @@ type DistOptions struct {
 	// LogFactor and Reps as in Options (0 = paper defaults).
 	LogFactor float64
 	Reps      int
-	// Workers selects the CONGEST engine parallelism (see congest.Options):
-	// 0 runs the deterministic sequential mode, k > 1 a k-worker sharded
-	// pool, negative one worker per CPU. All settings produce identical
-	// results.
+	// Workers selects the execution parallelism of both the CONGEST engine
+	// (see congest.Options) and the random-delay scheduler (see
+	// sched.Options): 0 runs the deterministic sequential mode, k > 1 a
+	// k-worker sharded pool, negative one worker per CPU. All settings
+	// produce identical results.
 	Workers int
 	// DepthFactor scales the truncation depth of the scheduled BFS phase:
 	// depth = DepthFactor·kD·log2(n). 0 selects 2.
@@ -124,9 +125,12 @@ func BuildDistributed(g *graph.Graph, p *Partition, opts DistOptions) (*DistResu
 		low, high = opts.KnownDiameter, opts.KnownDiameter
 	}
 	leaderOf := p.LeaderOf()
+	// Scheduler state reused across guesses (runner, extraction forest, and
+	// verdicts buffer): allocation-free steady state.
+	var schedState schedScratch
 	for guess := low; guess <= high; guess++ {
 		res.Guesses++
-		sc, ok, err := tryGuess(g, p, leaderOf, globalTree, guess, &opts, eng, res)
+		sc, ok, err := tryGuess(g, p, leaderOf, globalTree, guess, &opts, eng, &schedState, res)
 		if err != nil {
 			return nil, fmt.Errorf("shortcut: guess D=%d: %w", guess, err)
 		}
@@ -137,6 +141,15 @@ func BuildDistributed(g *graph.Graph, p *Partition, opts DistOptions) (*DistResu
 		}
 	}
 	return nil, fmt.Errorf("shortcut: no diameter guess in [%d,%d] produced verified shortcuts", low, high)
+}
+
+// schedScratch is the scheduler state BuildDistributed reuses across
+// diameter guesses: runner buffers, the extraction forest, and the
+// verification verdicts slice.
+type schedScratch struct {
+	runner   sched.Runner
+	forest   sched.BFSForest
+	verdicts []sched.AggValue
 }
 
 func (r *DistResult) addStats(st congest.Stats) {
@@ -157,6 +170,7 @@ func tryGuess(
 	dGuess int,
 	opts *DistOptions,
 	eng congest.Engine,
+	ss *schedScratch,
 	res *DistResult,
 ) (*Shortcuts, bool, error) {
 	n := g.NumNodes()
@@ -282,14 +296,16 @@ func tryGuess(
 	if schedMax <= 0 {
 		schedMax = 0 // let sched pick its default
 	}
-	out, sst, err := sched.ParallelBFS(g, tasks, sched.Options{
+	sst, err := ss.runner.ParallelBFSInto(&ss.forest, g, tasks, sched.Options{
 		MaxDelay:  kdInt,
 		Rng:       opts.Rng,
 		MaxRounds: schedMax,
+		Workers:   opts.Workers,
 	})
 	if err != nil {
 		return nil, false, fmt.Errorf("scheduled BFS: %w", err)
 	}
+	out := &ss.forest
 	res.addSched(sst)
 	res.SchedStats = sst
 
@@ -301,9 +317,9 @@ func tryGuess(
 		reached2[v] = true // nodes of small parts / no part count as covered
 	}
 	for li, pi := range large {
+		o := out.Outcome(li)
 		for _, v := range p.Part(pi).Nodes {
-			_, ok := out[li].Dist[v]
-			reached2[v] = ok
+			reached2[v] = o.Visited(v)
 		}
 	}
 	flags2, st, err := congest.RunReachExchange(g, leaderOf, reached2, eng)
@@ -314,29 +330,31 @@ func tryGuess(
 
 	aggTasks := make([]sched.AggTask, len(large))
 	for li, pi := range large {
-		local := make(map[graph.NodeID]sched.AggValue, len(out[li].Dist))
-		for v := range out[li].Dist {
+		o := out.Outcome(li)
+		local := make([]sched.AggValue, o.Len())
+		for j := range local {
 			w := 0.0
-			if p.PartOf(v) == int32(pi) && flags2[v] {
+			if v := o.Node(j); p.PartOf(v) == int32(pi) && flags2[v] {
 				w = -1
 			}
-			local[v] = sched.AggValue{Weight: w, Valid: true}
+			local[j] = sched.AggValue{Weight: w, Valid: true}
 		}
 		aggTasks[li] = sched.AggTask{
-			Root:     p.Part(pi).Leader,
-			Parent:   out[li].Parent,
-			Children: out[li].Children,
-			Local:    local,
+			Root:  p.Part(pi).Leader,
+			Tree:  o,
+			Local: local,
 		}
 	}
-	verdicts, sst2, err := sched.ParallelMinAggregate(g, aggTasks, sched.Options{
+	verdicts, sst2, err := ss.runner.ParallelMinAggregateInto(ss.verdicts, g, aggTasks, sched.Options{
 		MaxDelay:  kdInt,
 		Rng:       opts.Rng,
 		MaxRounds: schedMax,
+		Workers:   opts.Workers,
 	})
 	if err != nil {
 		return nil, false, fmt.Errorf("verification convergecast: %w", err)
 	}
+	ss.verdicts = verdicts
 	res.addSched(sst2)
 	for _, v := range verdicts {
 		if v.Weight < 0 {

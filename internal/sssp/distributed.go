@@ -82,6 +82,10 @@ type TreeOptions struct {
 	Rng       *rand.Rand
 	Diameter  int
 	LogFactor float64
+	// Workers selects the parallelism of the underlying distributed MST
+	// (engine and scheduler); 0 = sequential. Results are identical for
+	// every setting.
+	Workers int
 }
 
 // TreeResult is the outcome of TreeApprox.
@@ -106,6 +110,7 @@ func TreeApprox(g *graph.Graph, w graph.Weights, src graph.NodeID, opts TreeOpti
 		Rng:       opts.Rng,
 		Diameter:  opts.Diameter,
 		LogFactor: opts.LogFactor,
+		Workers:   opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sssp: %w", err)

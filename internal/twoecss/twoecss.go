@@ -110,6 +110,9 @@ type Options struct {
 	// for the tree phase (plus one equivalent phase for the augmentation,
 	// matching [DG19]'s MST-like phase structure).
 	Distributed bool
+	// Workers selects the parallelism of the distributed MST (engine and
+	// scheduler); 0 = sequential. Results are identical for every setting.
+	Workers int
 }
 
 // Result is the outcome of Approx.
@@ -153,6 +156,7 @@ func Approx(g *graph.Graph, w graph.Weights, opts Options) (*Result, error) {
 			Rng:       opts.Rng,
 			Diameter:  opts.Diameter,
 			LogFactor: opts.LogFactor,
+			Workers:   opts.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("twoecss: %w", err)
