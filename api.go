@@ -28,6 +28,7 @@ import (
 	"repro/internal/mincut"
 	"repro/internal/mst"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/shortcut"
 	"repro/internal/sssp"
 	"repro/internal/twoecss"
@@ -208,6 +209,66 @@ type TwoECSSResult = twoecss.Result
 func TwoECSS(g *Graph, w Weights, opts TwoECSSOptions) (*TwoECSSResult, error) {
 	return twoecss.Approx(g, w, opts)
 }
+
+// --- Serving ------------------------------------------------------------------
+//
+// The serving layer converts the batch reproduction into a query-serving
+// system: one Snapshot holds the expensive artifacts (shortcuts + derived
+// shortcut-MST), built once; a Server answers the whole application family
+// concurrently from a pool of reusable executor contexts.
+
+// Snapshot is the immutable serving state: graph + partition + constructed
+// shortcuts + derived shortcut-MST, built once and shared read-only.
+type Snapshot = serve.Snapshot
+
+// SnapshotOptions configures NewSnapshot.
+type SnapshotOptions = serve.SnapshotOptions
+
+// NewSnapshot builds the serving state (shortcut construction, quality
+// measurement, distributed shortcut-MST, tree index) once.
+func NewSnapshot(g *Graph, w Weights, parts [][]NodeID, opts SnapshotOptions) (*Snapshot, error) {
+	return serve.NewSnapshot(g, w, parts, opts)
+}
+
+// Server answers typed queries against one Snapshot from a pool of reusable
+// executor contexts. All methods are safe for concurrent use; every answer
+// is deterministic and identical to its single-threaded counterpart.
+type Server = serve.Server
+
+// ServerOptions configures NewServer (pool size, batch-scheduler workers,
+// query-determinism seed).
+type ServerOptions = serve.ServerOptions
+
+// NewServer builds a server over snap.
+func NewServer(snap *Snapshot, opts ServerOptions) *Server { return serve.NewServer(snap, opts) }
+
+// The serving query family (Corollaries 1.2, 4.2, 4.3 plus quality
+// introspection) and its typed answers. Server.ServeBatch groups same-kind
+// queries so one scheduler execution serves the whole group.
+type (
+	// ServeQuery is one typed request; ServeAnswer one typed response.
+	ServeQuery  = serve.Query
+	ServeAnswer = serve.Answer
+	// SSSPQuery asks for approximate SSSP distances through the snapshot's
+	// shortcut-MST.
+	SSSPQuery  = serve.SSSPQuery
+	SSSPAnswer = serve.SSSPAnswer
+	// MSTQuery asks for the snapshot's shortcut-MST.
+	MSTQuery  = serve.MSTQuery
+	MSTAnswer = serve.MSTAnswer
+	// MinCutQuery asks for an approximate minimum cut (tree packing seeded
+	// with the snapshot's MST).
+	MinCutQuery  = serve.MinCutQuery
+	MinCutAnswer = serve.MinCutAnswer
+	// TwoECSSQuery asks for the approximate 2-ECSS on the snapshot's MST.
+	TwoECSSQuery  = serve.TwoECSSQuery
+	TwoECSSAnswer = serve.TwoECSSAnswer
+	// QualityQuery asks for one part's (congestion, dilation) quality.
+	QualityQuery  = serve.QualityQuery
+	QualityAnswer = serve.QualityAnswer
+	// ServerStats is a point-in-time snapshot of serving counters.
+	ServerStats = serve.Stats
+)
 
 // --- CONGEST access ------------------------------------------------------------
 

@@ -120,6 +120,61 @@ func TestFacadeHardInstanceAndDistributed(t *testing.T) {
 	}
 }
 
+func TestFacadeServing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := repro.ClusterChain(500, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := repro.UniformWeights(g, rng)
+	parts, err := repro.VoronoiParts(g, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := repro.NewSnapshot(g, w, parts, repro.SnapshotOptions{Rng: rng, Diameter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := repro.NewServer(snap, repro.ServerOptions{Executors: 2})
+
+	exactTree, err := repro.MST(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := srv.Serve(repro.MSTQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.(*repro.MSTAnswer); got.Weight-w.Total(exactTree) > 1e-9 || w.Total(exactTree)-got.Weight > 1e-9 {
+		t.Errorf("served MST weight %f vs Kruskal %f", got.Weight, w.Total(exactTree))
+	}
+
+	exact, err := repro.SSSP(g, w, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := srv.ServeBatch([]repro.ServeQuery{
+		repro.SSSPQuery{Source: 7},
+		repro.SSSPQuery{Source: 123},
+		repro.QualityQuery{Part: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := answers[0].(*repro.SSSPAnswer)
+	for v := range exact {
+		if sa.Dist[v] < exact[v]-1e-9 {
+			t.Fatalf("served dist[%d]=%f below exact %f", v, sa.Dist[v], exact[v])
+		}
+	}
+	if q := answers[2].(*repro.QualityAnswer); q.Quality.Congestion != snap.Quality().Congestion {
+		t.Errorf("served congestion %d vs snapshot %d", q.Quality.Congestion, snap.Quality().Congestion)
+	}
+	if st := srv.Stats(); st.Total() != 4 || st.Batches != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
 func TestFacadeGraphBuilder(t *testing.T) {
 	b := repro.NewGraphBuilder(3)
 	if err := b.AddEdge(0, 1); err != nil {

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lcsbench:", err)
 		os.Exit(1)
 	}
@@ -51,6 +52,7 @@ func experiments() []experiment {
 		{"walks", "E11", "(i,k)-walk lengths (Lemma 3.3)", expt.E11Walks},
 		{"sssp", "E12", "approximate SSSP (Corollary 4.2)", expt.E12SSSP},
 		{"twoecss", "E13", "2-ECSS approximation (Corollary 4.3)", expt.E13TwoECSS},
+		{"serving", "E14", "serving layer throughput (snapshot + pooled executors)", expt.E14Serving},
 		{"ablation-reps", "A1", "sampling repetitions ablation", expt.A1Repetitions},
 		{"ablation-sched", "A2", "random-delay ablation", expt.A2Scheduling},
 		{"ablation-det", "A4", "deterministic construction (open end)", expt.A4Deterministic},
@@ -58,7 +60,7 @@ func experiments() []experiment {
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lcsbench", flag.ContinueOnError)
 	var (
 		sizes     = fs.String("sizes", "", "comma-separated n sweep (default per config)")
@@ -70,6 +72,11 @@ func run(args []string) error {
 		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		engine    = fs.String("engine", "sequential", "CONGEST engine for simulated experiments: sequential, pool (one worker per CPU), or a worker count")
 		jsonOut   = fs.Bool("json", false, "emit all tables as a JSON array (overrides -csv)")
+
+		serveRun   = fs.Bool("serve", false, "run the E14 serving sweep (no positional experiment needed)")
+		serveQ     = fs.Int("serve-queries", 0, "warm queries per E14 sweep point (0 = default)")
+		serveExecs = fs.String("serve-executors", "", "comma-separated executor-pool sizes for E14")
+		serveBatch = fs.String("serve-batches", "", "comma-separated batch sizes for E14")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: lcsbench [flags] <experiment>")
@@ -85,16 +92,22 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
+	target := ""
+	switch {
+	case fs.NArg() == 1:
+		target = fs.Arg(0)
+	case fs.NArg() == 0 && *serveRun:
+		target = "serving"
+	default:
 		fs.Usage()
-		return fmt.Errorf("expected exactly one experiment name")
+		return fmt.Errorf("expected exactly one experiment name (or -serve)")
 	}
-	target := fs.Arg(0)
 
 	cfg := expt.Config{
-		Seed:      *seed,
-		LogFactor: *logFactor,
-		Quick:     *quick,
+		Seed:         *seed,
+		LogFactor:    *logFactor,
+		Quick:        *quick,
+		ServeQueries: *serveQ,
 	}
 	var err error
 	if cfg.Workers, err = parseEngine(*engine); err != nil {
@@ -108,6 +121,12 @@ func run(args []string) error {
 	}
 	if cfg.Diameters, err = parseInts(*diameters); err != nil {
 		return fmt.Errorf("-diameters: %w", err)
+	}
+	if cfg.ServeExecutors, err = parseInts(*serveExecs); err != nil {
+		return fmt.Errorf("-serve-executors: %w", err)
+	}
+	if cfg.ServeBatches, err = parseInts(*serveBatch); err != nil {
+		return fmt.Errorf("-serve-batches: %w", err)
 	}
 
 	var selected []experiment
@@ -131,6 +150,19 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("unknown experiment %q", target)
 	}
+	if *serveRun && target != "serving" {
+		found := false
+		for _, e := range selected {
+			found = found || e.name == "serving"
+		}
+		if !found {
+			for _, e := range experiments() {
+				if e.name == "serving" {
+					selected = append(selected, e)
+				}
+			}
+		}
+	}
 	var tables []*expt.Table
 	for _, e := range selected {
 		tbl, err := e.run(cfg)
@@ -142,13 +174,13 @@ func run(args []string) error {
 			continue
 		}
 		if *csv {
-			tbl.CSV(os.Stdout)
+			tbl.CSV(stdout)
 		} else {
-			tbl.Fprint(os.Stdout)
+			tbl.Fprint(stdout)
 		}
 	}
 	if *jsonOut {
-		return expt.WriteJSON(os.Stdout, expt.RunInfo{Engine: *engine, Workers: cfg.Workers, Seed: cfg.Seed}, tables)
+		return expt.WriteJSON(stdout, expt.RunInfo{Engine: *engine, Workers: cfg.Workers, Seed: cfg.Seed}, tables)
 	}
 	return nil
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// envelope mirrors expt.WriteJSON's output shape — the machine-readable
+// contract -json promises.
+type envelope struct {
+	Run struct {
+		Engine  string `json:"engine"`
+		Workers int    `json:"workers"`
+		Seed    int64  `json:"seed"`
+	} `json:"run"`
+	Tables []struct {
+		Title   string         `json:"title"`
+		Columns []string       `json:"columns"`
+		Rows    [][]string     `json:"rows"`
+		Notes   []string       `json:"notes"`
+		Meta    map[string]any `json:"meta"`
+	} `json:"tables"`
+}
+
+func runJSON(t *testing.T, args []string) envelope {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	return env
+}
+
+func TestJSONEnvelope(t *testing.T) {
+	env := runJSON(t, []string{
+		"-quick", "-json", "-seed", "5", "-engine", "2",
+		"-sizes", "500", "-diameters", "4", "quality",
+	})
+	if env.Run.Engine != "2" || env.Run.Workers != 2 || env.Run.Seed != 5 {
+		t.Fatalf("run info: %+v", env.Run)
+	}
+	if len(env.Tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(env.Tables))
+	}
+	tbl := env.Tables[0]
+	if !strings.Contains(tbl.Title, "E1") || len(tbl.Rows) == 0 {
+		t.Fatalf("unexpected table: %q with %d rows", tbl.Title, len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("row width %d vs %d columns", len(row), len(tbl.Columns))
+		}
+	}
+}
+
+// TestServeSweepJSON drives the -serve sweep end to end at tiny scale and
+// checks it emits the same envelope.
+func TestServeSweepJSON(t *testing.T) {
+	env := runJSON(t, []string{
+		"-quick", "-json", "-serve", "-dist-sizes", "300",
+		"-serve-queries", "8", "-serve-executors", "1,2", "-serve-batches", "1,4",
+	})
+	if len(env.Tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(env.Tables))
+	}
+	tbl := env.Tables[0]
+	if !strings.Contains(tbl.Title, "E14") {
+		t.Fatalf("unexpected table: %q", tbl.Title)
+	}
+	if len(tbl.Rows) != 4 { // 2 executor settings × 2 batch sizes
+		t.Fatalf("want 4 sweep rows, got %d", len(tbl.Rows))
+	}
+	if _, ok := tbl.Meta["build_ms"]; !ok {
+		t.Fatalf("missing build_ms meta: %v", tbl.Meta)
+	}
+}
+
+func TestTextAndCSVOutput(t *testing.T) {
+	var text bytes.Buffer
+	if err := run([]string{"-quick", "-sizes", "500", "-diameters", "4", "quality"}, &text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "## E1") {
+		t.Fatalf("aligned-text output missing title:\n%s", text.String())
+	}
+	var csv bytes.Buffer
+	if err := run([]string{"-quick", "-csv", "-sizes", "500", "-diameters", "4", "quality"}, &csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[0], ",") {
+		t.Fatalf("CSV output malformed:\n%s", csv.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"nope"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("missing experiment accepted")
+	}
+	if err := run([]string{"-engine", "banana", "quality"}, &out); err == nil {
+		t.Fatal("bad engine accepted")
+	}
+	if err := run([]string{"-sizes", "12,x", "quality"}, &out); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+}

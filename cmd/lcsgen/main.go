@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -21,13 +22,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lcsgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lcsgen", flag.ContinueOnError)
 	var (
 		family  = fs.String("family", "hard", "instance family: hard, chain, er, dumbbell")
@@ -73,7 +74,7 @@ func run(args []string) error {
 	if *weights {
 		w = graph.NewUniformWeights(g.NumEdges(), rng)
 	}
-	if err := graphio.WriteGraph(os.Stdout, g, w); err != nil {
+	if err := graphio.WriteGraph(stdout, g, w); err != nil {
 		return err
 	}
 	if *parts {
@@ -83,7 +84,7 @@ func run(args []string) error {
 				return err
 			}
 		}
-		if err := graphio.WritePartition(os.Stdout, partList); err != nil {
+		if err := graphio.WritePartition(stdout, partList); err != nil {
 			return err
 		}
 	}

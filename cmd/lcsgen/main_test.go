@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graphio"
+)
+
+// TestFamiliesRoundTrip runs every -family through the CLI and parses the
+// output back with graphio — the format contract the tool exists to honor.
+func TestFamiliesRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"hard", []string{"-family", "hard", "-n", "400", "-d", "4"}},
+		{"hard-parts", []string{"-family", "hard", "-n", "400", "-d", "4", "-parts"}},
+		{"chain", []string{"-family", "chain", "-n", "300", "-d", "5"}},
+		{"chain-weights", []string{"-family", "chain", "-n", "300", "-d", "5", "-weights"}},
+		{"er", []string{"-family", "er", "-n", "200", "-p", "0.05"}},
+		{"er-parts-weights", []string{"-family", "er", "-n", "200", "-p", "0.05", "-parts", "-weights"}},
+		{"dumbbell", []string{"-family", "dumbbell", "-n", "100"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			doc, err := graphio.Read(&out)
+			if err != nil {
+				t.Fatalf("output does not round-trip: %v", err)
+			}
+			if doc.G.NumNodes() == 0 || doc.G.NumEdges() == 0 {
+				t.Fatalf("degenerate graph: %s", doc.G)
+			}
+			wantWeights := false
+			wantParts := false
+			for _, a := range tc.args {
+				wantWeights = wantWeights || a == "-weights"
+				wantParts = wantParts || a == "-parts"
+			}
+			if (doc.Weights != nil) != wantWeights {
+				t.Fatalf("weights present=%v, want %v", doc.Weights != nil, wantWeights)
+			}
+			if (doc.Parts != nil) != wantParts {
+				t.Fatalf("parts present=%v, want %v", doc.Parts != nil, wantParts)
+			}
+			if doc.Weights != nil {
+				if err := doc.Weights.Validate(doc.G); err != nil {
+					t.Fatalf("invalid weights: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicAcrossRuns pins that equal seeds give byte-equal output.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	args := []string{"-family", "hard", "-n", "300", "-d", "4", "-seed", "7", "-weights", "-parts"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestUnknownFamily(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-family", "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown family") {
+		t.Fatalf("want unknown-family error, got %v", err)
+	}
+}

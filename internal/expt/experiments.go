@@ -32,6 +32,13 @@ type Config struct {
 	// experiments (see congest.Options); 0 = deterministic sequential.
 	// Results are identical for every setting.
 	Workers int
+	// ServeQueries is the number of warm queries fired per E14 serving
+	// sweep point (0 = default).
+	ServeQueries int
+	// ServeExecutors is the executor-pool-size sweep of E14 (nil = default).
+	ServeExecutors []int
+	// ServeBatches is the batch-size sweep of E14 (nil = default).
+	ServeBatches []int
 }
 
 // WithDefaults fills unset fields.
@@ -63,7 +70,42 @@ func (c Config) WithDefaults() Config {
 			c.Diameters = []int{3, 4, 5, 6, 8}
 		}
 	}
+	// Non-positive serving knobs mean "default", like every other knob.
+	c.ServeExecutors = positiveInts(c.ServeExecutors)
+	c.ServeBatches = positiveInts(c.ServeBatches)
+	if c.ServeQueries <= 0 {
+		if c.Quick {
+			c.ServeQueries = 32
+		} else {
+			c.ServeQueries = 256
+		}
+	}
+	if len(c.ServeExecutors) == 0 {
+		if c.Quick {
+			c.ServeExecutors = []int{1, 2}
+		} else {
+			c.ServeExecutors = []int{1, 2, 4}
+		}
+	}
+	if len(c.ServeBatches) == 0 {
+		if c.Quick {
+			c.ServeBatches = []int{1, 8}
+		} else {
+			c.ServeBatches = []int{1, 8, 32}
+		}
+	}
 	return c
+}
+
+// positiveInts drops non-positive sweep entries.
+func positiveInts(s []int) []int {
+	out := s[:0]
+	for _, v := range s {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func (c Config) rng(salt int64) *rand.Rand {

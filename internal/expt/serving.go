@@ -1,0 +1,176 @@
+package expt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/sssp"
+)
+
+// E14Serving measures the shortcut serving layer: warm queries/sec against a
+// prebuilt Snapshot across executor-pool sizes and batch sizes, versus the
+// rebuild-per-query baseline (sssp.TreeApprox paying the full shortcut-MST
+// construction every call), plus the cold-build vs warm-serve amortization
+// point. The workload is SSSP — the query kind with the starkest
+// construction-vs-serve asymmetry (Corollary 4.2's reduction builds the same
+// tree every call).
+func E14Serving(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := NewTable("E14: serving layer throughput (snapshot + pooled executors)",
+		"n", "executors", "batch", "queries", "warm qps", "rebuild qps", "speedup", "sim rounds/query")
+	n := cfg.DistSizes[len(cfg.DistSizes)-1]
+	rng := cfg.rng(16_000_000_000)
+	g, err := gen.ClusterChain(n, 6, rng)
+	if err != nil {
+		return nil, fmt.Errorf("E14: %w", err)
+	}
+	w := graph.NewUniformWeights(g.NumEdges(), rng)
+	parts, err := gen.VoronoiParts(g, minInt(64, maxInt(4, n/64)), rng)
+	if err != nil {
+		return nil, fmt.Errorf("E14: %w", err)
+	}
+
+	buildStart := time.Now()
+	snap, err := serve.NewSnapshot(g, w, parts, serve.SnapshotOptions{
+		Rng: rng, Diameter: 6, LogFactor: cfg.LogFactor, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("E14: snapshot: %w", err)
+	}
+	buildTime := time.Since(buildStart)
+
+	// Rebuild-per-query baseline: every call pays the full construction.
+	rebuildQueries := 2
+	if cfg.Quick {
+		rebuildQueries = 1
+	}
+	rebuildStart := time.Now()
+	for i := 0; i < rebuildQueries; i++ {
+		if _, err := sssp.TreeApprox(g, w, graph.NodeID(i), sssp.TreeOptions{
+			Rng: cfg.rng(int64(17_000_000_000 + i)), Diameter: 6,
+			LogFactor: cfg.LogFactor, Workers: cfg.Workers,
+		}); err != nil {
+			return nil, fmt.Errorf("E14: rebuild baseline: %w", err)
+		}
+	}
+	rebuildPer := time.Since(rebuildStart) / time.Duration(rebuildQueries)
+	rebuildQPS := float64(time.Second) / float64(rebuildPer)
+
+	var warmPer time.Duration
+	for _, executors := range cfg.ServeExecutors {
+		for _, batch := range cfg.ServeBatches {
+			srv := serve.NewServer(snap, serve.ServerOptions{
+				Executors: executors, Workers: cfg.Workers, Seed: cfg.Seed,
+			})
+			elapsed, simRounds, err := fireQueries(srv, g.NumNodes(), cfg.ServeQueries, executors, batch)
+			if err != nil {
+				return nil, fmt.Errorf("E14 executors=%d batch=%d: %w", executors, batch, err)
+			}
+			per := elapsed / time.Duration(cfg.ServeQueries)
+			if warmPer == 0 || per < warmPer {
+				warmPer = per
+			}
+			qps := float64(time.Second) / float64(per)
+			t.AddRow(I(g.NumNodes()), I(executors), I(batch), I(cfg.ServeQueries),
+				F(qps), F(rebuildQPS), F(qps/rebuildQPS),
+				F(float64(simRounds)/float64(cfg.ServeQueries)))
+		}
+	}
+
+	rounds, messages, phases := snap.BuildCost()
+	t.AddNote("snapshot build: %s (simulated: %d rounds, %d messages, %d MST phases) — paid once",
+		buildTime.Round(time.Millisecond), rounds, messages, phases)
+	if delta := rebuildPer - warmPer; delta > 0 {
+		breakEven := float64(buildTime) / float64(delta)
+		t.AddNote("amortization: build (%s) breaks even after %.1f queries vs rebuild-per-query (%s/query)",
+			buildTime.Round(time.Millisecond), breakEven, rebuildPer.Round(time.Millisecond))
+	}
+	t.AddNote("sim rounds/query is the marginal simulated cost: batched queries share one scheduler execution")
+	t.SetMeta("build_ms", float64(buildTime)/float64(time.Millisecond))
+	t.SetMeta("rebuild_ms_per_query", float64(rebuildPer)/float64(time.Millisecond))
+	t.SetMeta("workers", cfg.Workers)
+	return t, nil
+}
+
+// fireQueries drives q SSSP queries at the server from `executors`
+// concurrent clients: batch == 1 submits them individually, batch > 1 as
+// ServeBatch groups of that size (each group occupies one pooled executor,
+// so concurrent clients are what exercise the pool). Returns wall-clock time
+// and the summed simulated rounds — per answer for singles, per shared
+// execution for batches.
+func fireQueries(srv *serve.Server, n, q, executors, batch int) (time.Duration, int64, error) {
+	if batch <= 0 {
+		batch = 1
+	}
+	if executors <= 0 {
+		executors = 1
+	}
+	groups := (q + batch - 1) / batch
+	per := (groups + executors - 1) / executors
+	var (
+		simRounds int64
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+	)
+	errs := make(chan error, executors)
+	start := time.Now()
+	for c := 0; c < executors; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var local int64
+			for gi := c * per; gi < minInt((c+1)*per, groups); gi++ {
+				lo := gi * batch
+				size := minInt(batch, q-lo)
+				if batch == 1 {
+					a, err := srv.Serve(serve.SSSPQuery{Source: graph.NodeID(lo * 31 % n)})
+					if err != nil {
+						errs <- err
+						return
+					}
+					local += int64(a.(*serve.SSSPAnswer).Rounds)
+					continue
+				}
+				queries := make([]serve.Query, size)
+				for i := range queries {
+					queries[i] = serve.SSSPQuery{Source: graph.NodeID((lo + i) * 31 % n)}
+				}
+				answers, err := srv.ServeBatch(queries)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// The batch shares one scheduled execution; charge its
+				// rounds once.
+				local += int64(answers[0].(*serve.SSSPAnswer).Rounds)
+			}
+			mu.Lock()
+			simRounds += local
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return 0, 0, err
+	}
+	return time.Since(start), simRounds, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -26,6 +26,12 @@ type ApproxOptions struct {
 	// Workers selects the parallelism of the distributed MST (engine and
 	// scheduler); 0 = sequential. Results are identical for every setting.
 	Workers int
+	// FirstTree, when non-empty, is a prebuilt spanning tree (a serving
+	// snapshot's shortcut-MST) used as packed tree #1: its construction cost
+	// was paid once at snapshot build, so it is neither recomputed nor
+	// charged here. Loads 1..k-1 then diversify the remaining trees exactly
+	// as in the cold path.
+	FirstTree []graph.EdgeID
 }
 
 // ApproxResult is the outcome of Approx.
@@ -42,6 +48,18 @@ type ApproxResult struct {
 	// Distributed is false).
 	Rounds   int
 	Messages int64
+}
+
+// DefaultTrees is the packed-tree count Approx uses when Trees is unset:
+// ⌈2·log2 n⌉ (the Ω(λ log n) shape of Karger's theorem at λ-independent
+// scale). Exported so callers layering their own knobs on top (the serving
+// layer's MinCutQuery.Eps) stay in lockstep with the cold path.
+func DefaultTrees(n int) int {
+	k := int(math.Ceil(2 * math.Log2(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // Approx approximates the global minimum cut by greedy spanning tree packing
@@ -73,26 +91,40 @@ func Approx(g *graph.Graph, w graph.Weights, opts ApproxOptions) (*ApproxResult,
 	}
 	k := opts.Trees
 	if k <= 0 {
-		k = int(math.Ceil(2 * math.Log2(float64(n))))
+		k = DefaultTrees(n)
 	}
 
 	res := &ApproxResult{Value: math.Inf(1), Trees: k}
 	load := make([]float64, g.NumEdges())
+	// One scheduler scratch shared by every packed tree's distributed MST.
+	var scratch mst.Scratch
 	for t := 0; t < k; t++ {
+		var tree []graph.EdgeID
+		if t == 0 && len(opts.FirstTree) > 0 {
+			tree = opts.FirstTree
+			for _, e := range tree {
+				load[e]++
+			}
+			value, side := bestOneRespectingCut(g, w, tree)
+			if value < res.Value {
+				res.Value = value
+				res.Side = side
+			}
+			continue
+		}
 		// Pack the next tree: MST under load-based weights (uniform noise
 		// breaks ties so repeated trees diversify).
 		packW := make(graph.Weights, g.NumEdges())
 		for e := range packW {
 			packW[e] = load[e] + 1 + 0.01*opts.Rng.Float64()
 		}
-		var tree []graph.EdgeID
 		if opts.Distributed {
-			dres, err := mst.Distributed(g, packW, mst.DistOptions{
+			dres, err := mst.DistributedScratch(g, packW, mst.DistOptions{
 				Rng:       opts.Rng,
 				Diameter:  opts.Diameter,
 				LogFactor: opts.LogFactor,
 				Workers:   opts.Workers,
-			})
+			}, &scratch)
 			if err != nil {
 				return nil, fmt.Errorf("mincut: packing tree %d: %w", t, err)
 			}

@@ -55,12 +55,32 @@ type DistResult struct {
 	QualitySum int
 }
 
+// Scratch owns the reusable scheduler state of Distributed: the random-delay
+// Runner, the BFS extraction forest, and the winners buffer. The zero value
+// is ready to use. Distributed allocates a fresh one per call; callers that
+// answer many MST-shaped queries (the serving layer's pooled executors) hold
+// one Scratch per executor and call DistributedScratch so the scheduler's
+// flat buffers amortize across queries, not just across Borůvka phases.
+// A Scratch must not be used concurrently.
+type Scratch struct {
+	sr      sched.Runner
+	forest  sched.BFSForest
+	winners []sched.AggValue
+}
+
 // Distributed computes the MST with Borůvka phases driven by low-congestion
 // shortcuts (Fact 4.1 / Corollary 1.2): each phase builds shortcuts for the
 // current fragment partition, grows BFS trees in every augmented subgraph
 // under random-delay scheduling, convergecasts each fragment's minimum-
 // weight outgoing edge, broadcasts the winners, and merges.
 func Distributed(g *graph.Graph, w graph.Weights, opts DistOptions) (*DistResult, error) {
+	var scratch Scratch
+	return DistributedScratch(g, w, opts, &scratch)
+}
+
+// DistributedScratch is Distributed with caller-owned reusable state — the
+// snapshot-serving entry point. Results are identical to Distributed.
+func DistributedScratch(g *graph.Graph, w graph.Weights, opts DistOptions, scratch *Scratch) (*DistResult, error) {
 	if opts.Rng == nil {
 		return nil, fmt.Errorf("mst: DistOptions.Rng is required")
 	}
@@ -86,11 +106,12 @@ func Distributed(g *graph.Graph, w graph.Weights, opts DistOptions) (*DistResult
 
 	res := &DistResult{}
 	uf := NewUnionFind(n)
-	// Scheduler state reused across phases (runner, extraction forest, and
-	// winners buffer): allocation-free steady state.
-	var sr sched.Runner
-	var forest sched.BFSForest
-	var winners []sched.AggValue
+	// Scheduler state reused across phases — and, via DistributedScratch,
+	// across whole queries (runner, extraction forest, winners buffer):
+	// allocation-free steady state.
+	sr := &scratch.sr
+	forest := &scratch.forest
+	winners := scratch.winners
 
 	for {
 		fragments := fragmentLists(g, uf)
@@ -141,7 +162,8 @@ func Distributed(g *graph.Graph, w graph.Weights, opts DistOptions) (*DistResult
 		res.Messages += int64(g.NumArcs())
 
 		var qualityHint int
-		winners, qualityHint, err = mwoePhase(g, w, p, sc, uf, depthFactor, opts, &sr, &forest, winners, res)
+		winners, qualityHint, err = mwoePhase(g, w, p, sc, uf, depthFactor, opts, sr, forest, winners, res)
+		scratch.winners = winners
 		if err != nil {
 			return nil, fmt.Errorf("mst: phase %d MWOE: %w", res.Phases, err)
 		}

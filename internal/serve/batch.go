@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/sssp"
+)
+
+// ServeBatch answers a batch of queries, grouping same-kind queries so they
+// share work: all SSSP queries in the batch run as parallel scheduled BFS
+// tasks over the snapshot tree in ONE random-delay scheduler execution (the
+// batch's shared simulated cost is reported on each grouped answer); other
+// kinds are answered individually. The returned slice is aligned with the
+// input; every answer is identical to what Serve would return for the same
+// query (batched SSSP answers differ only in their Rounds/Messages
+// accounting, which reflects the shared execution).
+func (s *Server) ServeBatch(queries []Query) ([]Answer, error) {
+	answers := make([]Answer, len(queries))
+
+	var ssspIdx []int
+	for i, q := range queries {
+		if _, ok := q.(SSSPQuery); ok {
+			ssspIdx = append(ssspIdx, i)
+		}
+	}
+	if len(ssspIdx) > 1 {
+		if err := s.serveSSSPGroup(queries, ssspIdx, answers); err != nil {
+			return nil, fmt.Errorf("serve: batched sssp: %w", err)
+		}
+	}
+	for i, q := range queries {
+		if answers[i] != nil {
+			continue
+		}
+		a, err := s.serveOne(q)
+		if err != nil {
+			return nil, fmt.Errorf("serve: batch query %d (%v): %w", i, kindOf(q), err)
+		}
+		answers[i] = a
+	}
+	// Count only delivered work: a failed batch delivers nothing.
+	for _, a := range answers {
+		s.served[a.answerKind()].Add(1)
+	}
+	s.batches.Add(1)
+	s.batched.Add(int64(len(queries)))
+	return answers, nil
+}
+
+func kindOf(q Query) any {
+	if q == nil {
+		return "nil"
+	}
+	return q.queryKind()
+}
+
+// serveSSSPGroup runs every SSSP query of the batch as one task of a single
+// scheduled parallel-BFS execution restricted to the snapshot's tree edges,
+// then extracts each task's weighted distances from the shared forest.
+func (s *Server) serveSSSPGroup(queries []Query, idx []int, answers []Answer) error {
+	sn := s.snap
+	n := sn.g.NumNodes()
+	ts := sn.treeSet
+	allowed := func(_ int32, _, _ graph.NodeID, e graph.EdgeID) bool { return ts.Has(e) }
+
+	tasks := make([]sched.BFSTask, len(idx))
+	for t, i := range idx {
+		src := queries[i].(SSSPQuery).Source
+		if src < 0 || int(src) >= n {
+			return fmt.Errorf("sssp: source %d out of range [0,%d)", src, n)
+		}
+		tasks[t] = sched.BFSTask{Root: src, Allowed: allowed, DepthLimit: -1}
+	}
+
+	ex := s.checkout()
+	defer s.release(ex)
+	stats, err := ex.runner.ParallelBFSInto(&ex.forest, sn.g, tasks, sched.Options{
+		MaxDelay: len(tasks),
+		Rng:      s.queryRng(KindSSSP, int64(len(tasks))),
+		Workers:  s.opts.Workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	for t, i := range idx {
+		src := queries[i].(SSSPQuery).Source
+		out := make([]float64, n)
+		ex.extractWeightedDist(out, sn, ex.forest.Outcome(t))
+		answers[i] = &SSSPAnswer{
+			Source:   src,
+			Dist:     out,
+			Rounds:   stats.Rounds,
+			Messages: stats.Messages,
+		}
+	}
+	return nil
+}
+
+// extractWeightedDist turns one task's hop-BFS tree over the snapshot tree
+// into weighted distances: visits are counting-sorted by hop depth (parents
+// before children), then each node's distance is its parent's plus the
+// connecting edge's weight — the same additions in the same order as the
+// warm single-query walk, so the results are bit-identical.
+func (ex *executor) extractWeightedDist(out []float64, sn *Snapshot, o sched.BFSOutcome) {
+	for i := range out {
+		out[i] = sssp.Infinite
+	}
+	m := o.Len()
+	var maxHop int32
+	for j := 0; j < m; j++ {
+		if d := o.DistAt(j); d > maxHop {
+			maxHop = d
+		}
+	}
+	ex.hopCount = growInt32(ex.hopCount, int(maxHop)+2)
+	ex.hopOrder = growInt32(ex.hopOrder, m)
+	for i := range ex.hopCount {
+		ex.hopCount[i] = 0
+	}
+	for j := 0; j < m; j++ {
+		ex.hopCount[o.DistAt(j)+1]++
+	}
+	for i := 1; i < len(ex.hopCount); i++ {
+		ex.hopCount[i] += ex.hopCount[i-1]
+	}
+	for j := 0; j < m; j++ {
+		d := o.DistAt(j)
+		ex.hopOrder[ex.hopCount[d]] = int32(j)
+		ex.hopCount[d]++
+	}
+	g, w := sn.g, sn.w
+	for _, j := range ex.hopOrder[:m] {
+		node := o.Node(int(j))
+		parc := o.ParentArcAt(int(j))
+		if parc < 0 {
+			out[node] = 0
+			continue
+		}
+		out[node] = out[g.ArcTail(parc)] + w[g.ArcEdge(parc)]
+	}
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/sssp"
+)
+
+// ServerOptions configures NewServer.
+type ServerOptions struct {
+	// Executors is the size of the executor pool — the maximum number of
+	// queries in flight at once (further callers block on checkout).
+	// 0 selects runtime.GOMAXPROCS(0).
+	Executors int
+	// Workers selects the scheduler parallelism of batched executions
+	// (sched.Options.Workers); 0 = sequential. Answers are identical for
+	// every setting.
+	Workers int
+	// Seed derives the per-query deterministic randomness: a query's answer
+	// depends only on (snapshot, Seed, query), never on which executor runs
+	// it or what runs concurrently. 0 selects 1.
+	Seed int64
+}
+
+// Server answers typed queries against one immutable Snapshot from a pool of
+// reusable executor contexts. All methods are safe for concurrent use.
+type Server struct {
+	snap *Snapshot
+	opts ServerOptions
+	pool chan *executor
+
+	served  [numKinds]atomic.Int64
+	batches atomic.Int64
+	batched atomic.Int64
+}
+
+// executor is one pooled context: every buffer a query needs, owned
+// exclusively while checked out (see DESIGN.md ownership rules). The runner
+// and forest amortize scheduler state across the batched executions this
+// executor serves — PR 2's Runner-reuse extended across queries.
+type executor struct {
+	treeScratch sssp.TreeScratch // warm SSSP walk buffers
+	runner      sched.Runner     // batched scheduled executions
+	forest      sched.BFSForest
+	hopOrder    []int32 // batch extraction: visit indices by hop
+	hopCount    []int32
+}
+
+// NewServer builds a server over the snapshot.
+func NewServer(snap *Snapshot, opts ServerOptions) *Server {
+	if opts.Executors <= 0 {
+		opts.Executors = runtime.GOMAXPROCS(0)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	s := &Server{
+		snap: snap,
+		opts: opts,
+		pool: make(chan *executor, opts.Executors),
+	}
+	for i := 0; i < opts.Executors; i++ {
+		s.pool <- &executor{}
+	}
+	return s
+}
+
+// Snapshot returns the served snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.snap }
+
+func (s *Server) checkout() *executor  { return <-s.pool }
+func (s *Server) release(ex *executor) { s.pool <- ex }
+
+// queryRng derives the deterministic randomness of one query from the server
+// seed, the query kind, and a kind-specific payload (splitmix-style mixing).
+func (s *Server) queryRng(kind Kind, payload int64) *rand.Rand {
+	h := uint64(s.opts.Seed) ^ (uint64(kind)+1)*0x9E3779B97F4A7C15 ^ uint64(payload)*0xBF58476D1CE4E5B9
+	h ^= h >> 30
+	h *= 0x94D049BB133111EB
+	h ^= h >> 27
+	return rand.New(rand.NewSource(int64(h >> 1)))
+}
+
+// Serve answers one query. The answer is deterministic: independent of the
+// executor that runs it, of concurrent queries, and of pool/worker settings.
+func (s *Server) Serve(q Query) (Answer, error) {
+	a, err := s.serveOne(q)
+	if err != nil {
+		return nil, err
+	}
+	s.served[a.answerKind()].Add(1)
+	return a, nil
+}
+
+// serveOne executes one query on a checked-out executor without touching
+// the serving counters (Serve and ServeBatch count delivered answers).
+func (s *Server) serveOne(q Query) (Answer, error) {
+	switch q := q.(type) {
+	case SSSPQuery:
+		out := make([]float64, s.snap.g.NumNodes())
+		return s.ssspInto(out, q.Source)
+	case MSTQuery:
+		ex := s.checkout()
+		defer s.release(ex)
+		return s.snap.serveMST(), nil
+	case MinCutQuery:
+		ex := s.checkout()
+		defer s.release(ex)
+		trees := minCutTrees(s.snap.g.NumNodes(), q.Eps)
+		return s.snap.serveMinCut(trees, s.queryRng(KindMinCut, int64(trees)))
+	case TwoECSSQuery:
+		ex := s.checkout()
+		defer s.release(ex)
+		return s.snap.serveTwoECSS()
+	case QualityQuery:
+		ex := s.checkout()
+		defer s.release(ex)
+		return s.snap.serveQuality(q)
+	case nil:
+		return nil, fmt.Errorf("serve: nil query")
+	default:
+		return nil, fmt.Errorf("serve: unknown query type %T", q)
+	}
+}
+
+// ServeSSSP answers one warm SSSP query: a weighted walk over the
+// snapshot's prebuilt tree index using executor-local scratch, with a fresh
+// output slice.
+func (s *Server) ServeSSSP(src graph.NodeID) (*SSSPAnswer, error) {
+	out := make([]float64, s.snap.g.NumNodes())
+	a, err := s.ssspInto(out, src)
+	if err != nil {
+		return nil, err
+	}
+	s.served[KindSSSP].Add(1)
+	return a, nil
+}
+
+// ssspInto runs the warm walk into dst and wraps it as an answer.
+func (s *Server) ssspInto(dst []float64, src graph.NodeID) (*SSSPAnswer, error) {
+	ex := s.checkout()
+	defer s.release(ex)
+	out, err := s.snap.ti.DistancesInto(dst, src, &ex.treeScratch)
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPAnswer{
+		Source:   src,
+		Dist:     out,
+		Rounds:   s.snap.servRounds,
+		Messages: s.snap.servMessages,
+	}, nil
+}
+
+// ServeSSSPInto is the allocation-free warm path: distances are written into
+// dst (grown to NumNodes, reusing capacity) and returned. With sufficient
+// dst capacity and a warm executor the query allocates nothing — the
+// property CI's benchmark smoke asserts.
+func (s *Server) ServeSSSPInto(dst []float64, src graph.NodeID) ([]float64, error) {
+	ex := s.checkout()
+	defer s.release(ex)
+	out, err := s.snap.ti.DistancesInto(dst, src, &ex.treeScratch)
+	if err != nil {
+		return out, err
+	}
+	s.served[KindSSSP].Add(1)
+	return out, nil
+}
+
+// Stats is a point-in-time snapshot of serving counters.
+type Stats struct {
+	// Queries counts answered queries per kind (indexable by Kind).
+	SSSP, MST, MinCut, TwoECSS, Quality int64
+	// Batches counts ServeBatch calls; BatchedQueries the queries they
+	// carried.
+	Batches        int64
+	BatchedQueries int64
+}
+
+// Total returns the total number of answered queries.
+func (st Stats) Total() int64 {
+	return st.SSSP + st.MST + st.MinCut + st.TwoECSS + st.Quality
+}
+
+// Stats returns current serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		SSSP:           s.served[KindSSSP].Load(),
+		MST:            s.served[KindMST].Load(),
+		MinCut:         s.served[KindMinCut].Load(),
+		TwoECSS:        s.served[KindTwoECSS].Load(),
+		Quality:        s.served[KindQuality].Load(),
+		Batches:        s.batches.Load(),
+		BatchedQueries: s.batched.Load(),
+	}
+}

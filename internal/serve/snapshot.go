@@ -1,0 +1,199 @@
+// Package serve is the shortcut serving layer: build the paper's expensive
+// artifacts once, answer many application queries concurrently.
+//
+// The paper's central economy (Corollaries 1.2, 4.2, 4.3) is that a single
+// shortcut construction amortizes across a *family* of optimization problems
+// — MST, approximate min cut, approximate SSSP, approximate 2-ECSS. The
+// batch entry points (`mst.Distributed`, `sssp.TreeApprox`, …) each pay the
+// full construction per call; this package converts the repository into a
+// query-serving system:
+//
+//   - Snapshot: an immutable bundle of graph + weights + partition +
+//     constructed Shortcuts + the derived shortcut-MST and its query index,
+//     built once and shared read-only by any number of concurrent readers.
+//   - Server: a pool of per-worker executor contexts (reusable sched.Runner
+//     state via mst.Scratch, sssp.TreeScratch walk buffers, per-executor
+//     distance arrays) answering typed queries — SSSPQuery, MSTQuery,
+//     MinCutQuery, TwoECSSQuery, QualityQuery — concurrently, each answer
+//     bit-identical to its single-threaded counterpart.
+//   - ServeBatch: batched submission that groups same-kind queries so one
+//     random-delay scheduler execution serves the whole group (batched SSSP
+//     runs all sources as parallel scheduled BFS tasks over the tree).
+//
+// See DESIGN.md "Serving architecture" for the immutability and ownership
+// arguments.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/shortcut"
+	"repro/internal/sssp"
+)
+
+// SnapshotOptions configures NewSnapshot.
+type SnapshotOptions struct {
+	// Rng drives the shortcut sampling and the MST's scheduled phases.
+	// Required. It is consumed only during the build; queries never touch it.
+	Rng *rand.Rand
+	// Diameter is the graph diameter used to derive shortcut parameters
+	// (0 = double-sweep estimate).
+	Diameter int
+	// LogFactor as in shortcut.Options.
+	LogFactor float64
+	// Workers selects the build parallelism (CONGEST engine + scheduler
+	// drain); 0 = sequential. The built snapshot is identical either way.
+	Workers int
+	// DilationCutoff bounds the per-part exact dilation computation, as in
+	// Shortcuts.Dilation (0 selects 3000; negative = always exact).
+	DilationCutoff int
+	// MaxRounds bounds each simulated build phase (0 = default).
+	MaxRounds int
+}
+
+// Snapshot is the immutable serving state: everything the query family needs,
+// built once. After NewSnapshot returns, no method mutates the snapshot — it
+// is safe for unlimited concurrent readers (see DESIGN.md for the argument).
+type Snapshot struct {
+	g *graph.Graph
+	w graph.Weights
+	p *shortcut.Partition
+	s *shortcut.Shortcuts
+
+	quality shortcut.Quality // measured once at build
+
+	tree       []graph.EdgeID // the shortcut-MST, derived once
+	treeWeight float64
+	treeSet    *graph.Bitset   // tree-edge membership, for batched scheduled BFS
+	ti         *sssp.TreeIndex // CSR tree adjacency, for warm SSSP walks
+
+	diameter       int
+	logFactor      float64
+	dilationCutoff int
+
+	// Build cost (paid once) and per-query marginal cost (charged per warm
+	// SSSP answer).
+	buildRounds   int
+	buildMessages int64
+	phases        int
+	qualitySum    int
+	servRounds    int
+	servMessages  int64
+}
+
+// NewSnapshot builds the serving state for graph g with weights w and the
+// given vertex-disjoint connected parts: it validates the partition, runs
+// the centralized shortcut construction of Section 2, measures its quality,
+// derives the shortcut-MST via the distributed Borůvka framework (recording
+// the simulated build cost), and indexes the tree for warm per-source
+// queries.
+func NewSnapshot(g *graph.Graph, w graph.Weights, parts [][]graph.NodeID, opts SnapshotOptions) (*Snapshot, error) {
+	if opts.Rng == nil {
+		return nil, fmt.Errorf("serve: SnapshotOptions.Rng is required")
+	}
+	if err := w.Validate(g); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("serve: empty graph")
+	}
+	d := opts.Diameter
+	if d == 0 {
+		lo, _ := graph.DiameterBounds(g)
+		d = int(lo)
+		if d < 1 {
+			d = 1
+		}
+	}
+	cutoff := opts.DilationCutoff
+	if cutoff == 0 {
+		cutoff = 3000
+	}
+
+	p, err := shortcut.NewPartition(g, parts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s, err := shortcut.Build(g, p, shortcut.Options{
+		Diameter: d, LogFactor: opts.LogFactor, Rng: opts.Rng,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: shortcuts: %w", err)
+	}
+	quality, err := s.Dilation(cutoff)
+	if err != nil {
+		return nil, fmt.Errorf("serve: quality: %w", err)
+	}
+
+	mres, err := mst.Distributed(g, w, mst.DistOptions{
+		Rng:       opts.Rng,
+		Diameter:  d,
+		LogFactor: opts.LogFactor,
+		Workers:   opts.Workers,
+		MaxRounds: opts.MaxRounds,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: shortcut-MST: %w", err)
+	}
+	ti, err := sssp.NewTreeIndex(g, w, mres.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("serve: tree index: %w", err)
+	}
+	treeSet := graph.NewBitset(g.NumEdges())
+	for _, e := range mres.Tree {
+		treeSet.Set(e)
+	}
+	servRounds, servMessages := sssp.TreeServeCost(g.NumNodes(), mres.QualitySum, len(mres.Tree))
+
+	return &Snapshot{
+		g:              g,
+		w:              w,
+		p:              p,
+		s:              s,
+		quality:        quality,
+		tree:           mres.Tree,
+		treeWeight:     mres.Weight,
+		treeSet:        treeSet,
+		ti:             ti,
+		diameter:       d,
+		logFactor:      opts.LogFactor,
+		dilationCutoff: cutoff,
+		buildRounds:    mres.Rounds,
+		buildMessages:  mres.Messages,
+		phases:         mres.Phases,
+		qualitySum:     mres.QualitySum,
+		servRounds:     servRounds,
+		servMessages:   servMessages,
+	}, nil
+}
+
+// Graph returns the underlying graph.
+func (sn *Snapshot) Graph() *graph.Graph { return sn.g }
+
+// Weights returns the edge weights. Callers must not modify them.
+func (sn *Snapshot) Weights() graph.Weights { return sn.w }
+
+// Partition returns the validated partition.
+func (sn *Snapshot) Partition() *shortcut.Partition { return sn.p }
+
+// Shortcuts returns the constructed shortcut assignment.
+func (sn *Snapshot) Shortcuts() *shortcut.Shortcuts { return sn.s }
+
+// Quality returns the assignment's quality, measured once at build.
+func (sn *Snapshot) Quality() shortcut.Quality { return sn.quality }
+
+// Tree returns the derived shortcut-MST edges. Callers must not modify the
+// returned slice — it is shared by every MST answer.
+func (sn *Snapshot) Tree() []graph.EdgeID { return sn.tree }
+
+// TreeWeight returns the shortcut-MST's total weight.
+func (sn *Snapshot) TreeWeight() float64 { return sn.treeWeight }
+
+// BuildCost returns the simulated cost of deriving the shortcut-MST — the
+// one-time investment that warm queries amortize.
+func (sn *Snapshot) BuildCost() (rounds int, messages int64, phases int) {
+	return sn.buildRounds, sn.buildMessages, sn.phases
+}

@@ -158,38 +158,56 @@ func (s *Shortcuts) Dilation(exactCutoff int) (Quality, error) {
 	var q Quality
 	q.Exact = true
 	for i := 0; i < s.P.NumParts(); i++ {
-		part := s.P.Part(i)
-		var h []graph.EdgeID
-		if i < len(s.H) {
-			h = s.H[i]
+		pq, err := s.PartDilation(i, exactCutoff)
+		if err != nil {
+			return q, err
 		}
-		view := graph.NewAugmentedView(s.P.Graph(), part.Nodes, h)
-		if exactCutoff <= 0 || len(part.Nodes) <= exactCutoff {
-			d := view.DiameterAmong(part.Nodes)
-			if d < 0 {
-				return q, fmt.Errorf("shortcut: part %d disconnected in augmented subgraph", i)
-			}
-			if d > q.DilationLo {
-				q.DilationLo = d
-			}
-			if d > q.DilationHi {
-				q.DilationHi = d
-			}
-			continue
+		if !pq.Exact {
+			q.Exact = false
 		}
-		ecc := view.EccentricityAmong(part.Leader, part.Nodes)
-		if ecc < 0 {
-			return q, fmt.Errorf("shortcut: part %d disconnected in augmented subgraph", i)
+		if pq.DilationLo > q.DilationLo {
+			q.DilationLo = pq.DilationLo
 		}
-		q.Exact = false
-		if ecc > q.DilationLo {
-			q.DilationLo = ecc
-		}
-		if 2*ecc > q.DilationHi {
-			q.DilationHi = 2 * ecc
+		if pq.DilationHi > q.DilationHi {
+			q.DilationHi = pq.DilationHi
 		}
 	}
 	q.Congestion = s.Congestion()
+	return q, nil
+}
+
+// PartDilation measures the dilation of part i's augmented subgraph alone —
+// the snapshot-reentrant per-part entry point behind the serving layer's
+// QualityQuery, avoiding the all-parts sweep (and the global congestion
+// recount) per query. The returned Quality's Congestion field is zero;
+// callers holding a prebuilt Shortcuts combine it with the congestion they
+// measured once. exactCutoff as in Dilation.
+func (s *Shortcuts) PartDilation(i, exactCutoff int) (Quality, error) {
+	var q Quality
+	q.Exact = true
+	if i < 0 || i >= s.P.NumParts() {
+		return q, fmt.Errorf("shortcut: part %d out of range [0,%d)", i, s.P.NumParts())
+	}
+	part := s.P.Part(i)
+	var h []graph.EdgeID
+	if i < len(s.H) {
+		h = s.H[i]
+	}
+	view := graph.NewAugmentedView(s.P.Graph(), part.Nodes, h)
+	if exactCutoff <= 0 || len(part.Nodes) <= exactCutoff {
+		d := view.DiameterAmong(part.Nodes)
+		if d < 0 {
+			return q, fmt.Errorf("shortcut: part %d disconnected in augmented subgraph", i)
+		}
+		q.DilationLo, q.DilationHi = d, d
+		return q, nil
+	}
+	ecc := view.EccentricityAmong(part.Leader, part.Nodes)
+	if ecc < 0 {
+		return q, fmt.Errorf("shortcut: part %d disconnected in augmented subgraph", i)
+	}
+	q.Exact = false
+	q.DilationLo, q.DilationHi = ecc, 2*ecc
 	return q, nil
 }
 

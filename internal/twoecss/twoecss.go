@@ -113,6 +113,12 @@ type Options struct {
 	// Workers selects the parallelism of the distributed MST (engine and
 	// scheduler); 0 = sequential. Results are identical for every setting.
 	Workers int
+	// Tree, when non-empty, is a prebuilt minimum spanning tree (a serving
+	// snapshot's shortcut-MST): the tree phase is skipped entirely — only
+	// the greedy bridge-cover augmentation runs, deterministically — and
+	// Rng is not required. Rounds/Messages stay zero (the tree's cost was
+	// charged at snapshot build).
+	Tree []graph.EdgeID
 }
 
 // Result is the outcome of Approx.
@@ -141,7 +147,7 @@ func (r *Result) Ratio() float64 {
 // covers its tree path; a union-find skips already-covered segments). It
 // errors if g itself is not 2-edge-connected.
 func Approx(g *graph.Graph, w graph.Weights, opts Options) (*Result, error) {
-	if opts.Rng == nil {
+	if opts.Rng == nil && len(opts.Tree) == 0 {
 		return nil, fmt.Errorf("twoecss: Options.Rng is required")
 	}
 	if err := w.Validate(g); err != nil {
@@ -151,7 +157,9 @@ func Approx(g *graph.Graph, w graph.Weights, opts Options) (*Result, error) {
 	res := &Result{}
 
 	var tree []graph.EdgeID
-	if opts.Distributed {
+	if len(opts.Tree) > 0 {
+		tree = opts.Tree
+	} else if opts.Distributed {
 		mres, err := mst.Distributed(g, w, mst.DistOptions{
 			Rng:       opts.Rng,
 			Diameter:  opts.Diameter,

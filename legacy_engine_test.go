@@ -1,0 +1,97 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// floodProg floods the maximum node ID — a deterministic multi-round program
+// exercised identically by every engine entry point.
+type floodProg struct {
+	max int64
+}
+
+func (f *floodProg) Init(v *repro.CongestView, out *repro.CongestOutbox) {
+	f.max = int64(v.ID())
+	out.Broadcast(v, repro.CongestMessage{A: f.max})
+}
+
+func (f *floodProg) Round(_ int, v *repro.CongestView, in []repro.CongestInbound, out *repro.CongestOutbox) {
+	improved := false
+	for _, m := range in {
+		if m.Msg.A > f.max {
+			f.max = m.Msg.A
+			improved = true
+		}
+	}
+	if improved {
+		out.Broadcast(v, repro.CongestMessage{A: f.max})
+	}
+}
+
+func (f *floodProg) Done() bool { return true }
+
+// TestLegacyEnginesMatchRunCongest pins the deprecated RunSequential /
+// RunGoroutines wrappers: byte-identical stats and program states vs the
+// unified RunCongest, so the legacy surface cannot drift from the flat
+// engine it delegates to.
+func TestLegacyEnginesMatchRunCongest(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := repro.ClusterChain(600, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(*repro.CongestView) repro.CongestProgram { return &floodProg{} }
+	const maxRounds = 1 << 20
+
+	type outcome struct {
+		name  string
+		stats repro.CongestStats
+		maxes []int64
+	}
+	collect := func(name string, stats repro.CongestStats, progs []repro.CongestProgram, err error) outcome {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		maxes := make([]int64, len(progs))
+		for i, p := range progs {
+			maxes[i] = p.(*floodProg).max
+		}
+		return outcome{name: name, stats: stats, maxes: maxes}
+	}
+
+	var runs []outcome
+	st, progs, err := repro.RunCongest(g, factory, repro.CongestOptions{MaxRounds: maxRounds})
+	runs = append(runs, collect("RunCongest{Workers:0}", st, progs, err))
+	st, progs, err = repro.RunSequential(g, factory, maxRounds)
+	runs = append(runs, collect("RunSequential", st, progs, err))
+	st, progs, err = repro.RunGoroutines(g, factory, maxRounds)
+	runs = append(runs, collect("RunGoroutines", st, progs, err))
+	st, progs, err = repro.RunCongest(g, factory, repro.CongestOptions{Workers: -1, MaxRounds: maxRounds})
+	runs = append(runs, collect("RunCongest{Workers:-1}", st, progs, err))
+	st, progs, err = repro.RunCongest(g, factory, repro.CongestOptions{Workers: 3, MaxRounds: maxRounds})
+	runs = append(runs, collect("RunCongest{Workers:3}", st, progs, err))
+
+	want := runs[0]
+	if want.stats.Rounds <= 1 || want.stats.Messages == 0 {
+		t.Fatalf("degenerate reference run: %+v", want.stats)
+	}
+	for _, v := range want.maxes {
+		if v != int64(g.NumNodes()-1) {
+			t.Fatal("flood did not converge to the max ID")
+		}
+	}
+	for _, run := range runs[1:] {
+		if run.stats != want.stats {
+			t.Errorf("%s stats %+v differ from %s stats %+v", run.name, run.stats, want.name, want.stats)
+		}
+		for i := range want.maxes {
+			if run.maxes[i] != want.maxes[i] {
+				t.Fatalf("%s node %d state %d differs from %s state %d",
+					run.name, i, run.maxes[i], want.name, want.maxes[i])
+			}
+		}
+	}
+}
