@@ -77,8 +77,14 @@ type ShortcutOptions = shortcut.Options
 
 // BuildShortcuts runs the paper's centralized sampling construction
 // (Section 2).
+//
+// Deprecated: use BuildShortcutsCtx with functional options (WithSeed,
+// WithDiameter, …). This adapter maps the v1 struct onto v2 field-for-field,
+// so results are bit-identical.
 func BuildShortcuts(g *Graph, p *Partition, opts ShortcutOptions) (*Shortcuts, error) {
-	return shortcut.Build(g, p, opts)
+	return BuildShortcutsCtx(opts.Ctx, g, p, WithRng(opts.Rng), func(c *Config) {
+		c.Diameter, c.Reps, c.SamplingBoost = opts.Diameter, opts.Reps, opts.LogFactor
+	})
 }
 
 // DistShortcutOptions configures the CONGEST-simulated construction.
@@ -92,8 +98,15 @@ type DistShortcutResult = shortcut.DistResult
 // (leader election, part classification, numbering, local sampling,
 // random-delay scheduled BFS, verification, diameter guessing) on the
 // CONGEST simulator.
+// Deprecated: use BuildShortcutsDistributedCtx with functional options.
+// This adapter maps the v1 struct onto v2 field-for-field, so results are
+// bit-identical.
 func BuildShortcutsDistributed(g *Graph, p *Partition, opts DistShortcutOptions) (*DistShortcutResult, error) {
-	return shortcut.BuildDistributed(g, p, opts)
+	return BuildShortcutsDistributedCtx(opts.Ctx, g, p, WithRng(opts.Rng), func(c *Config) {
+		c.SamplingBoost, c.Reps, c.Workers = opts.LogFactor, opts.Reps, opts.Workers
+		c.DepthFactor, c.KnownDiameter = opts.DepthFactor, opts.KnownDiameter
+		c.MaxRounds, c.CongestionCap = opts.MaxRounds, opts.CongestionCapFactor
+	})
 }
 
 // GhaffariHaeuplerShortcuts builds the generic O(D+√n)-quality baseline
@@ -105,8 +118,12 @@ func GhaffariHaeuplerShortcuts(p *Partition, root NodeID) *Shortcuts {
 // BuildShortcutsDeterministic is the derandomized variant exploring the
 // paper's derandomization open end: structurally capped congestion,
 // empirically-evaluated dilation (experiment A4).
+//
+// Deprecated: use BuildShortcutsDeterministicCtx with functional options.
 func BuildShortcutsDeterministic(g *Graph, p *Partition, opts ShortcutOptions) (*Shortcuts, error) {
-	return shortcut.BuildDeterministic(g, p, opts)
+	return BuildShortcutsDeterministicCtx(opts.Ctx, g, p, WithRng(opts.Rng), func(c *Config) {
+		c.Diameter, c.Reps, c.SamplingBoost = opts.Diameter, opts.Reps, opts.LogFactor
+	})
 }
 
 // LocalShortcutOptions configures the locality-restricted variant.
@@ -115,8 +132,13 @@ type LocalShortcutOptions = shortcut.LocalOptions
 // BuildShortcutsLocal is the message-efficient variant exploring the paper's
 // message-complexity open end: sampling restricted to the D/2-hop horizon of
 // each part (experiment A5).
+//
+// Deprecated: use BuildShortcutsLocalCtx with functional options.
 func BuildShortcutsLocal(g *Graph, p *Partition, opts LocalShortcutOptions) (*Shortcuts, error) {
-	return shortcut.BuildLocal(g, p, opts)
+	return BuildShortcutsLocalCtx(opts.Ctx, g, p, WithRng(opts.Rng), func(c *Config) {
+		c.Diameter, c.Reps, c.SamplingBoost = opts.Diameter, opts.Reps, opts.LogFactor
+		c.Radius = opts.Radius
+	})
 }
 
 // TrivialShortcuts is the empty assignment (Hi = ∅).
@@ -164,8 +186,15 @@ type MSTDistResult = mst.DistResult
 
 // MSTDistributed computes the MST with Borůvka phases through low-congestion
 // shortcuts (Corollary 1.2): ˜O(kD) rounds on constant-diameter graphs.
+//
+// Deprecated: use MSTDistributedCtx with functional options. This adapter
+// maps the v1 struct onto v2 field-for-field, so results are bit-identical.
 func MSTDistributed(g *Graph, w Weights, opts MSTDistOptions) (*MSTDistResult, error) {
-	return mst.Distributed(g, w, opts)
+	return MSTDistributedCtx(opts.Ctx, g, w, WithRng(opts.Rng), func(c *Config) {
+		c.Diameter, c.SamplingBoost, c.Workers = opts.Diameter, opts.LogFactor, opts.Workers
+		c.Baseline, c.SimulateConstruction = opts.Baseline, opts.SimulateConstruction
+		c.DepthFactor, c.MaxRounds = opts.DepthFactor, opts.MaxRounds
+	})
 }
 
 // MinCut computes the exact weighted global minimum cut (Stoer–Wagner).
@@ -179,8 +208,14 @@ type MinCutApproxResult = mincut.ApproxResult
 
 // MinCutApprox approximates the minimum cut via greedy tree packing over the
 // shortcut-MST (Corollary 1.2's reduction; see DESIGN.md substitutions).
+//
+// Deprecated: use MinCutApproxCtx with functional options (WithEps or
+// WithTrees select the packed-tree count).
 func MinCutApprox(g *Graph, w Weights, opts MinCutApproxOptions) (*MinCutApproxResult, error) {
-	return mincut.Approx(g, w, opts)
+	return MinCutApproxCtx(opts.Ctx, g, w, WithRng(opts.Rng), func(c *Config) {
+		c.Trees, c.Diameter, c.SamplingBoost = opts.Trees, opts.Diameter, opts.LogFactor
+		c.DistributedAccounting, c.Workers, c.Tree = opts.Distributed, opts.Workers, opts.FirstTree
+	})
 }
 
 // SSSP computes exact shortest-path distances (Dijkstra).
@@ -194,8 +229,13 @@ type SSSPTreeResult = sssp.TreeResult
 
 // SSSPApprox computes approximate SSSP distances through the shortcut-MST
 // (Corollary 4.2's reduction shape; stretch measured, not guaranteed).
+//
+// Deprecated: use SSSPApproxCtx with functional options.
 func SSSPApprox(g *Graph, w Weights, src NodeID, opts SSSPTreeOptions) (*SSSPTreeResult, error) {
-	return sssp.TreeApprox(g, w, src, opts)
+	return SSSPApproxCtx(opts.Ctx, g, w, src, WithRng(opts.Rng), func(c *Config) {
+		c.Diameter, c.SamplingBoost, c.Workers = opts.Diameter, opts.LogFactor, opts.Workers
+		c.MaxRounds = opts.MaxRounds
+	})
 }
 
 // TwoECSSOptions configures the 2-ECSS approximation.
@@ -206,8 +246,14 @@ type TwoECSSResult = twoecss.Result
 
 // TwoECSS computes an approximate minimum-weight two-edge-connected spanning
 // subgraph (Corollary 4.3's reduction shape).
+//
+// Deprecated: use TwoECSSCtx with functional options (WithTree supplies a
+// prebuilt spanning tree and lifts the randomness requirement).
 func TwoECSS(g *Graph, w Weights, opts TwoECSSOptions) (*TwoECSSResult, error) {
-	return twoecss.Approx(g, w, opts)
+	return TwoECSSCtx(opts.Ctx, g, w, WithRng(opts.Rng), func(c *Config) {
+		c.Diameter, c.SamplingBoost, c.Workers = opts.Diameter, opts.LogFactor, opts.Workers
+		c.DistributedAccounting, c.Tree = opts.Distributed, opts.Tree
+	})
 }
 
 // --- Serving ------------------------------------------------------------------
@@ -226,8 +272,14 @@ type SnapshotOptions = serve.SnapshotOptions
 
 // NewSnapshot builds the serving state (shortcut construction, quality
 // measurement, distributed shortcut-MST, tree index) once.
+//
+// Deprecated: use NewSnapshotCtx with functional options — a cold build on a
+// large graph runs for seconds and only the v2 path can be canceled.
 func NewSnapshot(g *Graph, w Weights, parts [][]NodeID, opts SnapshotOptions) (*Snapshot, error) {
-	return serve.NewSnapshot(g, w, parts, opts)
+	return NewSnapshotCtx(opts.Ctx, g, w, parts, WithRng(opts.Rng), func(c *Config) {
+		c.Diameter, c.SamplingBoost, c.Workers = opts.Diameter, opts.LogFactor, opts.Workers
+		c.DilationCutoff, c.MaxRounds = opts.DilationCutoff, opts.MaxRounds
+	})
 }
 
 // Server answers typed queries against one Snapshot from a pool of reusable
@@ -240,7 +292,14 @@ type Server = serve.Server
 type ServerOptions = serve.ServerOptions
 
 // NewServer builds a server over snap.
-func NewServer(snap *Snapshot, opts ServerOptions) *Server { return serve.NewServer(snap, opts) }
+//
+// Deprecated: use NewServerV2 with functional options (WithExecutors,
+// WithWorkers, WithServerSeed) and the server's context-first query methods.
+func NewServer(snap *Snapshot, opts ServerOptions) *Server {
+	// NewServerV2 maps its Config onto exactly this constructor; calling it
+	// directly keeps the v1 signature error-free by construction.
+	return serve.NewServer(snap, opts)
+}
 
 // The serving query family (Corollaries 1.2, 4.2, 4.3 plus quality
 // introspection) and its typed answers. Server.ServeBatch groups same-kind

@@ -1,0 +1,242 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/congest"
+	"repro/internal/cost"
+	"repro/internal/mincut"
+	"repro/internal/mst"
+	"repro/internal/serve"
+	"repro/internal/shortcut"
+	"repro/internal/sssp"
+	"repro/internal/twoecss"
+)
+
+// API v2: context-first entry points over one functional-option vocabulary.
+//
+// Every long-running operation takes a context.Context first and a list of
+// Options last; cancellation is cooperative and checked at round
+// granularity (every CONGEST round barrier, every scheduler drain step,
+// every executor checkout), so a canceled call returns within one round
+// with a *Error of KindCanceled/KindDeadline that also satisfies
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded. Randomness
+// comes from WithSeed (splitmix64-derived, equal seeds ⇒ bit-identical
+// results) or WithRng (v1 interop). Results carry the unified Cost.
+//
+// The v1 entry points (BuildShortcuts, MSTDistributed, …) remain as thin
+// deprecated adapters over these, pinning behavioral equivalence.
+
+// Cost is the unified v2 cost accounting, embedded in every result type:
+// simulated rounds and messages, realized scheduler stats, and wall time.
+type Cost = cost.Cost
+
+// BuildShortcutsCtx runs the centralized sampling construction of Section 2
+// under ctx. Requires WithSeed or WithRng.
+func BuildShortcutsCtx(ctx context.Context, g *Graph, p *Partition, opts ...Option) (*Shortcuts, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return shortcut.Build(g, p, shortcut.Options{
+		Diameter:  cfg.Diameter,
+		Reps:      cfg.Reps,
+		LogFactor: cfg.SamplingBoost,
+		Rng:       cfg.rng(),
+		Ctx:       ctx,
+	})
+}
+
+// BuildShortcutsDistributedCtx runs the full distributed pipeline of
+// Section 2 on the CONGEST simulator under ctx, cancelable at every
+// simulated round and scheduler drain step. Requires WithSeed or WithRng.
+func BuildShortcutsDistributedCtx(ctx context.Context, g *Graph, p *Partition, opts ...Option) (*DistShortcutResult, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return shortcut.BuildDistributed(g, p, shortcut.DistOptions{
+		Rng:                 cfg.rng(),
+		LogFactor:           cfg.SamplingBoost,
+		Reps:                cfg.Reps,
+		Workers:             cfg.Workers,
+		DepthFactor:         cfg.DepthFactor,
+		KnownDiameter:       cfg.KnownDiameter,
+		MaxRounds:           cfg.MaxRounds,
+		CongestionCapFactor: cfg.CongestionCap,
+		Ctx:                 ctx,
+	})
+}
+
+// BuildShortcutsDeterministicCtx runs the derandomized variant under ctx
+// (experiment A4; no randomness required).
+func BuildShortcutsDeterministicCtx(ctx context.Context, g *Graph, p *Partition, opts ...Option) (*Shortcuts, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return shortcut.BuildDeterministic(g, p, shortcut.Options{
+		Diameter:  cfg.Diameter,
+		Reps:      cfg.Reps,
+		LogFactor: cfg.SamplingBoost,
+		Rng:       cfg.rng(),
+		Ctx:       ctx,
+	})
+}
+
+// BuildShortcutsLocalCtx runs the locality-restricted variant under ctx
+// (experiment A5). Requires WithSeed or WithRng; WithRadius bounds the
+// sampling horizon.
+func BuildShortcutsLocalCtx(ctx context.Context, g *Graph, p *Partition, opts ...Option) (*Shortcuts, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return shortcut.BuildLocal(g, p, shortcut.LocalOptions{
+		Options: shortcut.Options{
+			Diameter:  cfg.Diameter,
+			Reps:      cfg.Reps,
+			LogFactor: cfg.SamplingBoost,
+			Rng:       cfg.rng(),
+			Ctx:       ctx,
+		},
+		Radius: cfg.Radius,
+	})
+}
+
+// MSTDistributedCtx computes the MST with Borůvka phases through
+// low-congestion shortcuts (Corollary 1.2) under ctx. Requires WithSeed or
+// WithRng.
+func MSTDistributedCtx(ctx context.Context, g *Graph, w Weights, opts ...Option) (*MSTDistResult, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return mst.Distributed(g, w, cfg.mstOptions(ctx))
+}
+
+func (c *Config) mstOptions(ctx context.Context) mst.DistOptions {
+	return mst.DistOptions{
+		Rng:                  c.rng(),
+		Diameter:             c.Diameter,
+		LogFactor:            c.SamplingBoost,
+		Baseline:             c.Baseline,
+		SimulateConstruction: c.SimulateConstruction,
+		Workers:              c.Workers,
+		DepthFactor:          c.DepthFactor,
+		MaxRounds:            c.MaxRounds,
+		Ctx:                  ctx,
+	}
+}
+
+// SSSPApproxCtx computes approximate SSSP distances through the
+// shortcut-MST (Corollary 4.2 shape) under ctx. Requires WithSeed or
+// WithRng.
+func SSSPApproxCtx(ctx context.Context, g *Graph, w Weights, src NodeID, opts ...Option) (*SSSPTreeResult, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sssp.TreeApprox(g, w, src, sssp.TreeOptions{
+		Rng:       cfg.rng(),
+		Diameter:  cfg.Diameter,
+		LogFactor: cfg.SamplingBoost,
+		Workers:   cfg.Workers,
+		MaxRounds: cfg.MaxRounds,
+		Ctx:       ctx,
+	})
+}
+
+// MinCutApproxCtx approximates the minimum cut via greedy tree packing over
+// the shortcut-MST under ctx. WithEps tightens the approximation (WithTrees
+// sets the packed count explicitly and wins); WithTree seeds the packing
+// with a prebuilt tree. Requires WithSeed or WithRng.
+func MinCutApproxCtx(ctx context.Context, g *Graph, w Weights, opts ...Option) (*MinCutApproxResult, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return mincut.Approx(g, w, mincut.ApproxOptions{
+		Rng:         cfg.rng(),
+		Trees:       cfg.mincutTrees(g.NumNodes()),
+		Diameter:    cfg.Diameter,
+		LogFactor:   cfg.SamplingBoost,
+		Distributed: cfg.DistributedAccounting,
+		Workers:     cfg.Workers,
+		FirstTree:   cfg.Tree,
+		Ctx:         ctx,
+	})
+}
+
+// TwoECSSCtx computes the approximate minimum-weight 2-ECSS under ctx
+// (Corollary 4.3 shape). Requires WithSeed or WithRng unless WithTree
+// supplies a prebuilt spanning tree — the shared v2 validation that
+// replaced twoecss's v1 conditional-Rng special case.
+func TwoECSSCtx(ctx context.Context, g *Graph, w Weights, opts ...Option) (*TwoECSSResult, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return twoecss.Approx(g, w, twoecss.Options{
+		Rng:         cfg.rng(),
+		Diameter:    cfg.Diameter,
+		LogFactor:   cfg.SamplingBoost,
+		Distributed: cfg.DistributedAccounting,
+		Workers:     cfg.Workers,
+		Tree:        cfg.Tree,
+		Ctx:         ctx,
+	})
+}
+
+// NewSnapshotCtx builds the serving state under ctx: partition validation,
+// centralized shortcut construction, quality measurement, distributed
+// shortcut-MST, and tree indexing, cancelable between sampling steps,
+// between parts of the quality sweep, and at every simulated round — a cold
+// multi-second build aborts within one round of cancellation. Requires
+// WithSeed or WithRng.
+func NewSnapshotCtx(ctx context.Context, g *Graph, w Weights, parts [][]NodeID, opts ...Option) (*Snapshot, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewSnapshot(g, w, parts, serve.SnapshotOptions{
+		Rng:            cfg.rng(),
+		Diameter:       cfg.Diameter,
+		LogFactor:      cfg.SamplingBoost,
+		Workers:        cfg.Workers,
+		DilationCutoff: cfg.DilationCutoff,
+		MaxRounds:      cfg.MaxRounds,
+		Ctx:            ctx,
+	})
+}
+
+// NewServerV2 builds a server over snap from functional options
+// (WithExecutors, WithWorkers, WithSeed / WithServerSeed). The server's
+// context-first query methods — ServeCtx, ServeBatchCtx, ServeSSSPIntoCtx —
+// gate executor checkout on the context and thread it into every scheduled
+// phase; a canceled query leaves the pool fully usable.
+func NewServerV2(snap *Snapshot, opts ...Option) (*Server, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewServer(snap, serve.ServerOptions{
+		Executors: cfg.Executors,
+		Workers:   cfg.Workers,
+		Seed:      cfg.serverSeed(),
+	}), nil
+}
+
+// RunCongestCtx executes one Program per node of g on the unified CONGEST
+// engine under ctx, cancelable at every round barrier.
+func RunCongestCtx(ctx context.Context, g *Graph, factory CongestFactory, opts ...Option) (CongestStats, []CongestProgram, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return CongestStats{}, nil, err
+	}
+	return congest.Run(g, factory, congest.Options{
+		Workers:   cfg.Workers,
+		MaxRounds: cfg.MaxRounds,
+		Ctx:       ctx,
+	})
+}

@@ -13,14 +13,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/cost"
 	"repro/internal/expt"
+	"repro/internal/reproerr"
 )
 
 func main() {
@@ -73,6 +78,8 @@ func run(args []string, stdout io.Writer) error {
 		engine    = fs.String("engine", "sequential", "CONGEST engine for simulated experiments: sequential, pool (one worker per CPU), or a worker count")
 		jsonOut   = fs.Bool("json", false, "emit all tables as a JSON array (overrides -csv)")
 
+		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit); exercises the library's context-first cancellation end-to-end")
+
 		serveRun   = fs.Bool("serve", false, "run the E14 serving sweep (no positional experiment needed)")
 		serveQ     = fs.Int("serve-queries", 0, "warm queries per E14 sweep point (0 = default)")
 		serveExecs = fs.String("serve-executors", "", "comma-separated executor-pool sizes for E14")
@@ -103,11 +110,18 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("expected exactly one experiment name (or -serve)")
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	cfg := expt.Config{
 		Seed:         *seed,
 		LogFactor:    *logFactor,
 		Quick:        *quick,
 		ServeQueries: *serveQ,
+		Ctx:          ctx,
 	}
 	var err error
 	if cfg.Workers, err = parseEngine(*engine); err != nil {
@@ -163,10 +177,22 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	start := time.Now()
+	info := expt.RunInfo{Engine: *engine, Workers: cfg.Workers, Seed: cfg.Seed}
 	var tables []*expt.Table
 	for _, e := range selected {
 		tbl, err := e.run(cfg)
 		if err != nil {
+			// A -timeout abort surfaces as the library's canceled/deadline
+			// taxonomy; -json reports it (plus the partial cost and the
+			// tables that completed) instead of failing the process.
+			if kind := reproerr.KindOf(err); *jsonOut &&
+				(kind == reproerr.KindCanceled || kind == reproerr.KindDeadline ||
+					errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				info.Canceled = true
+				info.Error = fmt.Sprintf("%s: %v", e.name, err)
+				break
+			}
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		if *jsonOut {
@@ -180,7 +206,8 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if *jsonOut {
-		return expt.WriteJSON(stdout, expt.RunInfo{Engine: *engine, Workers: cfg.Workers, Seed: cfg.Seed}, tables)
+		info.Cost = &cost.Cost{Wall: time.Since(start)}
+		return expt.WriteJSON(stdout, info, tables)
 	}
 	return nil
 }

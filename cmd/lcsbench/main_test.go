@@ -11,9 +11,14 @@ import (
 // contract -json promises.
 type envelope struct {
 	Run struct {
-		Engine  string `json:"engine"`
-		Workers int    `json:"workers"`
-		Seed    int64  `json:"seed"`
+		Engine   string `json:"engine"`
+		Workers  int    `json:"workers"`
+		Seed     int64  `json:"seed"`
+		Canceled bool   `json:"canceled"`
+		Error    string `json:"error"`
+		Cost     *struct {
+			Wall int64 `json:"Wall"`
+		} `json:"cost"`
 	} `json:"run"`
 	Tables []struct {
 		Title   string         `json:"title"`
@@ -112,5 +117,43 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"-sizes", "12,x", "quality"}, &out); err == nil {
 		t.Fatal("bad sizes accepted")
+	}
+}
+
+// TestTimeoutCancelsRun exercises the context plumbing end-to-end: an
+// already-expired -timeout aborts the simulated experiment within one round,
+// and -json reports the cancellation plus the partial cost instead of
+// failing.
+func TestTimeoutCancelsRun(t *testing.T) {
+	env := runJSON(t, []string{
+		"-quick", "-json", "-timeout", "1ns",
+		"-dist-sizes", "400", "-diameters", "4", "rounds",
+	})
+	if !env.Run.Canceled {
+		t.Fatalf("run not reported canceled: %+v", env.Run)
+	}
+	if env.Run.Error == "" {
+		t.Error("canceled run carries no error detail")
+	}
+	if env.Run.Cost == nil || env.Run.Cost.Wall <= 0 {
+		t.Errorf("canceled run carries no partial cost: %+v", env.Run.Cost)
+	}
+}
+
+// TestTimeoutGenerous asserts a comfortable -timeout leaves the run intact
+// and still reports the wall cost.
+func TestTimeoutGenerous(t *testing.T) {
+	env := runJSON(t, []string{
+		"-quick", "-json", "-timeout", "5m",
+		"-sizes", "400", "-diameters", "4", "quality",
+	})
+	if env.Run.Canceled {
+		t.Fatalf("generous timeout canceled the run: %+v", env.Run)
+	}
+	if len(env.Tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(env.Tables))
+	}
+	if env.Run.Cost == nil || env.Run.Cost.Wall <= 0 {
+		t.Errorf("run carries no cost: %+v", env.Run.Cost)
 	}
 }

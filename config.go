@@ -1,0 +1,314 @@
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/mincut"
+	"repro/internal/reproerr"
+)
+
+// Config is the single options record of API v2, assembled from functional
+// options by every context-first entry point. One Config vocabulary spans
+// the whole facade — shortcut constructions, the application family (MST,
+// min cut, SSSP, 2-ECSS), snapshot builds, servers, and raw CONGEST runs —
+// replacing the seven per-package v1 Options structs that each re-declared
+// Rng/Workers/Diameter by hand. Fields are exported for introspection;
+// callers normally never touch a Config directly:
+//
+//	res, err := repro.MSTDistributedCtx(ctx, g, w,
+//	    repro.WithSeed(42), repro.WithDiameter(6), repro.WithWorkers(-1))
+//
+// Zero values mean "use the entry point's default". Options that do not
+// apply to an entry point are ignored by it (WithExecutors on a shortcut
+// build, say), so one option list can drive a whole pipeline.
+type Config struct {
+	// Workers selects execution parallelism for the CONGEST engine and the
+	// scheduler drain: 0/1 sequential, k > 1 a k-worker sharded pool,
+	// negative one worker per CPU. Results are identical for every setting.
+	Workers int
+	// Seed seeds the deterministic randomness when HasSeed is set: the
+	// entry point derives a *rand.Rand via splitmix64, so equal seeds give
+	// bit-identical results everywhere. Rng, when non-nil, takes priority
+	// (the v1 interop path).
+	Seed    uint64
+	HasSeed bool
+	Rng     *rand.Rand
+	// Diameter is the assumed graph diameter D (0 = double-sweep estimate);
+	// KnownDiameter skips the distributed construction's guessing loop.
+	Diameter      int
+	KnownDiameter int
+	// MaxRounds bounds every simulated phase (0 = generous default).
+	MaxRounds int
+	// Eps tightens the min-cut approximation by packing ⌈DefaultTrees/Eps⌉
+	// trees (0 = default count); an explicit Trees wins over Eps.
+	Eps   float64
+	Trees int
+	// SamplingBoost scales the log n term of the sampling probability
+	// (v1's LogFactor; 0 = the paper's constant 1.0).
+	SamplingBoost float64
+	// Reps is the number of sampling repetitions (0 = the paper's D).
+	Reps int
+	// DepthFactor scales the scheduled BFS truncation depth (0 = 2);
+	// CongestionCap scales the distributed construction's enforcement
+	// threshold (0 = 6); Radius restricts the local variant's sampling
+	// horizon (0 = ⌈D/2⌉).
+	DepthFactor   float64
+	CongestionCap float64
+	Radius        int
+	// Baseline selects GH16 baseline shortcuts inside the distributed MST;
+	// SimulateConstruction additionally simulates the per-phase shortcut
+	// construction; DistributedAccounting charges simulated rounds in the
+	// min-cut / 2-ECSS reductions.
+	Baseline              bool
+	SimulateConstruction  bool
+	DistributedAccounting bool
+	// Tree supplies a prebuilt spanning tree (a snapshot's shortcut-MST):
+	// 2-ECSS skips its tree phase, min cut uses it as packed tree #1.
+	Tree []EdgeID
+	// Executors sizes a server's executor pool (0 = GOMAXPROCS);
+	// ServerSeed derives per-query randomness (0 = from Seed, else 1).
+	Executors  int
+	ServerSeed int64
+	// DilationCutoff bounds the exact per-part dilation computation in
+	// snapshot builds (0 = default 3000; negative = always exact).
+	DilationCutoff int
+
+	err error // first invalid option, reported by the entry point
+}
+
+// Option mutates a Config; all v2 entry points accept a list of them.
+type Option func(*Config)
+
+// NewConfig assembles a Config from options, returning the first invalid
+// option as a *Error with KindInvalidInput.
+func NewConfig(opts ...Option) (Config, error) {
+	var c Config
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c, c.err
+}
+
+func (c *Config) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = reproerr.Invalid("repro.Config", format, args...)
+	}
+}
+
+// WithWorkers selects execution parallelism (see Config.Workers).
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithSeed seeds all randomness deterministically: the entry point derives
+// its *rand.Rand from seed via splitmix64, replacing v1's raw *rand.Rand
+// plumbing. Equal seeds give bit-identical results on every entry point.
+func WithSeed(seed uint64) Option {
+	return func(c *Config) { c.Seed, c.HasSeed = seed, true }
+}
+
+// WithRng supplies an explicit randomness source (the v1 interop escape
+// hatch; the deprecated v1 adapters use it to pin bit-equivalence). It
+// takes priority over WithSeed.
+func WithRng(rng *rand.Rand) Option { return func(c *Config) { c.Rng = rng } }
+
+// WithDiameter sets the assumed diameter D (0 = double-sweep estimate).
+func WithDiameter(d int) Option {
+	return func(c *Config) {
+		if d < 0 {
+			c.fail("diameter %d < 0", d)
+			return
+		}
+		c.Diameter = d
+	}
+}
+
+// WithKnownDiameter skips the distributed construction's diameter-guessing
+// loop (the paper's "assuming the knowledge of D" variant).
+func WithKnownDiameter(d int) Option {
+	return func(c *Config) {
+		if d < 0 {
+			c.fail("known diameter %d < 0", d)
+			return
+		}
+		c.KnownDiameter = d
+	}
+}
+
+// WithMaxRounds bounds every simulated phase; exceeding it yields a
+// KindBudgetExceeded error wrapping the engine/scheduler sentinel.
+func WithMaxRounds(n int) Option {
+	return func(c *Config) {
+		if n < 0 {
+			c.fail("max rounds %d < 0", n)
+			return
+		}
+		c.MaxRounds = n
+	}
+}
+
+// WithEps tightens the min-cut approximation (see Config.Eps).
+func WithEps(eps float64) Option {
+	return func(c *Config) {
+		if eps < 0 {
+			c.fail("eps %v < 0", eps)
+			return
+		}
+		c.Eps = eps
+	}
+}
+
+// WithTrees sets the min-cut packed-tree count explicitly (wins over Eps).
+func WithTrees(k int) Option {
+	return func(c *Config) {
+		if k < 0 {
+			c.fail("trees %d < 0", k)
+			return
+		}
+		c.Trees = k
+	}
+}
+
+// WithSamplingBoost scales the sampling probability's log n term (v1's
+// LogFactor; 0 = the paper's constant).
+func WithSamplingBoost(f float64) Option {
+	return func(c *Config) {
+		if f < 0 {
+			c.fail("sampling boost %v < 0", f)
+			return
+		}
+		c.SamplingBoost = f
+	}
+}
+
+// WithReps sets the sampling repetitions (0 = the paper's D).
+func WithReps(n int) Option {
+	return func(c *Config) {
+		if n < 0 {
+			c.fail("reps %d < 0", n)
+			return
+		}
+		c.Reps = n
+	}
+}
+
+// WithDepthFactor scales the scheduled BFS truncation depth (0 = 2).
+func WithDepthFactor(f float64) Option {
+	return func(c *Config) {
+		if f < 0 {
+			c.fail("depth factor %v < 0", f)
+			return
+		}
+		c.DepthFactor = f
+	}
+}
+
+// WithCongestionCap scales the distributed construction's congestion
+// enforcement threshold (0 = 6).
+func WithCongestionCap(f float64) Option {
+	return func(c *Config) {
+		if f < 0 {
+			c.fail("congestion cap %v < 0", f)
+			return
+		}
+		c.CongestionCap = f
+	}
+}
+
+// WithRadius restricts the local variant's sampling horizon (0 = ⌈D/2⌉).
+func WithRadius(r int) Option {
+	return func(c *Config) {
+		if r < 0 {
+			c.fail("radius %d < 0", r)
+			return
+		}
+		c.Radius = r
+	}
+}
+
+// WithBaseline selects the GH16 O(D+√n) baseline shortcuts inside the
+// distributed MST (experiment E6's comparison arm).
+func WithBaseline(on bool) Option { return func(c *Config) { c.Baseline = on } }
+
+// WithSimulatedConstruction additionally simulates the distributed shortcut
+// construction every MST phase (full round accounting, slower).
+func WithSimulatedConstruction(on bool) Option {
+	return func(c *Config) { c.SimulateConstruction = on }
+}
+
+// WithDistributedAccounting charges simulated rounds in the min-cut /
+// 2-ECSS reductions by computing each tree through the distributed
+// shortcut-MST.
+func WithDistributedAccounting(on bool) Option {
+	return func(c *Config) { c.DistributedAccounting = on }
+}
+
+// WithTree supplies a prebuilt spanning tree (see Config.Tree).
+func WithTree(tree []EdgeID) Option { return func(c *Config) { c.Tree = tree } }
+
+// WithExecutors sizes a server's executor pool (0 = GOMAXPROCS).
+func WithExecutors(n int) Option {
+	return func(c *Config) {
+		if n < 0 {
+			c.fail("executors %d < 0", n)
+			return
+		}
+		c.Executors = n
+	}
+}
+
+// WithServerSeed derives a server's per-query randomness (0 = from
+// WithSeed when given, else the server default).
+func WithServerSeed(seed int64) Option { return func(c *Config) { c.ServerSeed = seed } }
+
+// WithDilationCutoff bounds the exact per-part dilation computation in
+// snapshot builds (negative = always exact).
+func WithDilationCutoff(n int) Option { return func(c *Config) { c.DilationCutoff = n } }
+
+// splitmix64 is the SplitMix64 finalizer — the derivation behind WithSeed
+// and the server's per-query randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// rng returns the configured randomness source: an explicit Rng, a
+// splitmix64-derived source for WithSeed, or nil (entry points that need
+// randomness then report the uniform KindInvalidInput error).
+func (c *Config) rng() *rand.Rand {
+	if c.Rng != nil {
+		return c.Rng
+	}
+	if c.HasSeed {
+		return rand.New(rand.NewSource(int64(splitmix64(c.Seed) >> 1)))
+	}
+	return nil
+}
+
+// serverSeed resolves the per-query determinism seed for servers.
+func (c *Config) serverSeed() int64 {
+	if c.ServerSeed != 0 {
+		return c.ServerSeed
+	}
+	if c.HasSeed {
+		return int64(splitmix64(c.Seed+1) >> 1)
+	}
+	return 0
+}
+
+// mincutTrees resolves the packed-tree count from Trees/Eps for n nodes
+// (the same Eps→count rule the serving layer's MinCutQuery uses).
+func (c *Config) mincutTrees(n int) int {
+	if c.Trees > 0 {
+		return c.Trees
+	}
+	if c.Eps > 0 {
+		return mincut.TreesForEps(n, c.Eps)
+	}
+	return 0 // entry point default
+}

@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"repro/internal/congest"
+	"repro/internal/reproerr"
+	"repro/internal/sched"
+)
+
+// Error is the library's typed error (API v2): every validation failure,
+// budget overrun, bandwidth violation, and cancellation across the facade
+// and the internal layers is (or wraps) an *Error, so callers branch with
+//
+//	var e *repro.Error
+//	if errors.As(err, &e) && e.Kind == repro.KindBudgetExceeded { … }
+//
+// instead of matching message strings. Cancellation errors additionally
+// satisfy errors.Is(err, context.Canceled) / context.DeadlineExceeded.
+type Error = reproerr.Error
+
+// ErrorKind classifies an Error.
+type ErrorKind = reproerr.Kind
+
+// The error taxonomy. See each kind's documentation in internal/reproerr.
+const (
+	KindUnknown        = reproerr.KindUnknown
+	KindInvalidInput   = reproerr.KindInvalidInput
+	KindBudgetExceeded = reproerr.KindBudgetExceeded
+	KindBandwidth      = reproerr.KindBandwidth
+	KindCanceled       = reproerr.KindCanceled
+	KindDeadline       = reproerr.KindDeadline
+)
+
+// ErrorKindOf extracts the ErrorKind of the outermost *Error in err's
+// chain, or KindUnknown when there is none.
+func ErrorKindOf(err error) ErrorKind { return reproerr.KindOf(err) }
+
+// Sentinel causes, wrapped by KindBudgetExceeded / KindBandwidth errors so
+// pre-taxonomy errors.Is checks keep working.
+var (
+	// ErrEngineMaxRounds is the CONGEST engine's round-budget sentinel.
+	ErrEngineMaxRounds = congest.ErrMaxRounds
+	// ErrSchedMaxRounds is the random-delay scheduler's round-budget
+	// sentinel.
+	ErrSchedMaxRounds = sched.ErrMaxRounds
+	// ErrBandwidth is the CONGEST bandwidth-violation sentinel (two
+	// messages on one port in one round).
+	ErrBandwidth = congest.ErrBandwidth
+)

@@ -1,12 +1,14 @@
 // Quickstart: build a constant-diameter graph, partition it, compute
-// low-congestion shortcuts, and compare the quality against the trivial
-// (no-shortcut) assignment.
+// low-congestion shortcuts with the context-first v2 API, and compare the
+// quality against the trivial (no-shortcut) assignment.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"repro"
 )
@@ -18,7 +20,14 @@ func main() {
 }
 
 func run() error {
+	// The generators still take an explicit rng; the shortcut construction
+	// itself is seeded through the v2 option (WithSeed) below.
 	rng := rand.New(rand.NewSource(1))
+
+	// Every v2 entry point is context-first: a deadline (or Ctrl-C wired to
+	// signal.NotifyContext) aborts the construction within one round.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
 	// A 4000-node network of diameter exactly 6 (think "six degrees of
 	// separation").
@@ -47,12 +56,13 @@ func run() error {
 	fmt.Printf("trivial   : %v\n", trivial)
 
 	// With the paper's construction, congestion and dilation are both
-	// ˜O(kD) = ˜O(n^((D-2)/(2D-2))).
-	s, err := repro.BuildShortcuts(g, p, repro.ShortcutOptions{
-		Diameter:  diameter,
-		LogFactor: 0.3,
-		Rng:       rng,
-	})
+	// ˜O(kD) = ˜O(n^((D-2)/(2D-2))). WithSeed makes the run bit-reproducible
+	// without plumbing a *rand.Rand.
+	s, err := repro.BuildShortcutsCtx(ctx, g, p,
+		repro.WithSeed(1),
+		repro.WithDiameter(diameter),
+		repro.WithSamplingBoost(0.3),
+	)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,6 +23,7 @@ func main() {
 
 func run() error {
 	rng := rand.New(rand.NewSource(1))
+	ctx := context.Background()
 
 	const diameter = 6
 	g, err := repro.ClusterChain(20_000, diameter, rng)
@@ -34,20 +36,24 @@ func run() error {
 		return err
 	}
 
-	// Pay the construction once.
-	start := time.Now()
-	snap, err := repro.NewSnapshot(g, w, parts, repro.SnapshotOptions{
-		Rng: rng, Diameter: diameter, LogFactor: 0.3,
-	})
+	// Pay the construction once — context-first, so a serving process can
+	// bound or abort the cold build (a canceled build returns within one
+	// simulated round with errors.Is(err, context.Canceled) == true).
+	snap, err := repro.NewSnapshotCtx(ctx, g, w, parts,
+		repro.WithSeed(1), repro.WithDiameter(diameter), repro.WithSamplingBoost(0.3))
 	if err != nil {
 		return err
 	}
-	rounds, messages, phases := snap.BuildCost()
+	bc := snap.Cost()
 	fmt.Printf("snapshot: built in %v (simulated: %d rounds, %d messages, %d MST phases)\n",
-		time.Since(start).Round(time.Millisecond), rounds, messages, phases)
+		bc.Wall.Round(time.Millisecond), bc.Rounds, bc.Messages, snap.Phases())
 	fmt.Printf("snapshot: quality %v, MST weight %.1f\n", snap.Quality(), snap.TreeWeight())
 
-	srv := repro.NewServer(snap, repro.ServerOptions{Executors: 4})
+	srv, err := repro.NewServerV2(snap, repro.WithExecutors(4))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
 
 	// Concurrent single queries: every answer is deterministic and
 	// bit-identical to its single-threaded counterpart.
@@ -59,7 +65,7 @@ func run() error {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				src := repro.NodeID((c*100 + i) % g.NumNodes())
-				if _, err := srv.Serve(repro.SSSPQuery{Source: src}); err != nil {
+				if _, err := srv.ServeCtx(ctx, repro.SSSPQuery{Source: src}); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -70,7 +76,10 @@ func run() error {
 		time.Since(start).Round(time.Millisecond))
 
 	// A mixed batch: the three SSSP queries share ONE scheduler execution.
-	answers, err := srv.ServeBatch([]repro.ServeQuery{
+	// The batch context is checked once per drain round, so a canceled
+	// client aborts the shared execution within one round and leaves the
+	// executor pool untouched for other clients.
+	answers, err := srv.ServeBatchCtx(ctx, []repro.ServeQuery{
 		repro.SSSPQuery{Source: 0},
 		repro.SSSPQuery{Source: 7},
 		repro.SSSPQuery{Source: 42},

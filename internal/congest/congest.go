@@ -22,9 +22,9 @@ package congest
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // Message is the unit of communication: a kind tag plus three integer words.
@@ -100,7 +100,7 @@ var ErrBandwidth = errors.New("congest: two messages on one port in one round")
 func (o *Outbox) Send(p int, m Message) {
 	if p < 0 || p >= int(o.hi-o.lo) {
 		if o.err == nil {
-			o.err = fmt.Errorf("congest: node %d sent on invalid port %d", o.node, p)
+			o.err = reproerr.Invalid("congest", "node %d sent on invalid port %d", o.node, p)
 		}
 		return
 	}
@@ -108,7 +108,7 @@ func (o *Outbox) Send(p int, m Message) {
 	back := o.rev[a]
 	if o.occ[back] != 0 {
 		if o.err == nil {
-			o.err = fmt.Errorf("%w (port %d)", ErrBandwidth, p)
+			o.err = reproerr.Errorf("", reproerr.KindBandwidth, "%w (port %d)", ErrBandwidth, p)
 		}
 		return
 	}

@@ -1,12 +1,13 @@
 package congest
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // Options configures an Engine.
@@ -24,6 +25,28 @@ type Options struct {
 	// MaxRounds aborts a run with ErrMaxRounds when a round beyond it would
 	// be needed. 0 selects a generous default (1<<30).
 	MaxRounds int
+	// Ctx, when non-nil, is checked at every round barrier: a canceled or
+	// expired context aborts the run within one round with a
+	// reproerr.KindCanceled/KindDeadline error wrapping ctx.Err(). The
+	// check is one poll of a prefetched Done channel — it allocates nothing
+	// and costs nothing measurable on the round loop (nil Ctx, like
+	// context.Background, skips it entirely). The public facade's
+	// context-first entry points thread their context here.
+	Ctx context.Context
+}
+
+// done returns the context's Done channel, or nil when no cancellable
+// context was supplied (Background and TODO report a nil Done too).
+func (o Options) done() <-chan struct{} {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Done()
+}
+
+// ctxErr wraps the context failure as the taxonomy error the engines return.
+func (o Options) ctxErr() error {
+	return reproerr.FromContext("congest", o.Ctx.Err())
 }
 
 // Engine executes CONGEST Programs over a graph. Engines are stateless and
@@ -171,6 +194,7 @@ func (e *seqEngine) Run(g *graph.Graph, factory Factory) (Stats, []Program, erro
 	out := &Outbox{rev: g.ArcReverses(), msgs: st.nextMsgs, occ: st.nextOcc}
 	var in []Inbound
 	var stats Stats
+	done := e.opts.done()
 
 	sent, allDone, err := st.stepRange(0, 0, n, out, &in)
 	stats.Messages += sent
@@ -183,7 +207,14 @@ func (e *seqEngine) Run(g *graph.Graph, factory Factory) (Stats, []Program, erro
 			return stats, st.programs, nil
 		}
 		if round > e.opts.MaxRounds {
-			return stats, st.programs, fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds)
+			return stats, st.programs, reproerr.Errorf("", reproerr.KindBudgetExceeded, "%w (%d)", ErrMaxRounds, e.opts.MaxRounds)
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return stats, st.programs, e.opts.ctxErr()
+			default:
+			}
 		}
 		st.swap()
 		out.msgs, out.occ = st.nextMsgs, st.nextOcc
@@ -268,6 +299,7 @@ func (e *poolEngine) Run(g *graph.Graph, factory Factory) (Stats, []Program, err
 		return sent, allDone, err
 	}
 
+	done := e.opts.done()
 	sent, allDone, err := runRound(0)
 	if err != nil {
 		stop()
@@ -281,7 +313,15 @@ func (e *poolEngine) Run(g *graph.Graph, factory Factory) (Stats, []Program, err
 		}
 		if round > e.opts.MaxRounds {
 			stop()
-			return stats, st.programs, fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds)
+			return stats, st.programs, reproerr.Errorf("", reproerr.KindBudgetExceeded, "%w (%d)", ErrMaxRounds, e.opts.MaxRounds)
+		}
+		if done != nil {
+			select {
+			case <-done:
+				stop()
+				return stats, st.programs, e.opts.ctxErr()
+			default:
+			}
 		}
 		st.swap()
 		sent, allDone, err = runRound(round)

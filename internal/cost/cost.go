@@ -1,0 +1,71 @@
+// Package cost is the unified cost accounting of API v2: one struct shared
+// by every result type in the application family, replacing the bespoke
+// Rounds/Messages/SchedStats fields each package used to declare. Results
+// embed Cost, so v1 readers (res.Rounds, res.Messages, res.SchedStats) keep
+// compiling via field promotion while v2 callers consume the whole struct.
+package cost
+
+import (
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Cost aggregates the price of one operation: exact simulated CONGEST
+// accounting (Rounds, Messages), the random-delay scheduler's realized
+// congestion/queueing (SchedStats), and the real wall-clock time the
+// operation took on this machine (Wall — the only field that is not
+// deterministic, and the only one a canceled run still reports faithfully).
+type Cost struct {
+	// Rounds and Messages are the exact simulated totals across every
+	// phase the operation ran (zero for purely centralized paths).
+	Rounds   int
+	Messages int64
+	// SchedStats is the scheduler accounting of the operation's scheduled
+	// phases: realized rounds/messages of the last phase's drain plus the
+	// worst per-arc load and queueing observed across all of them
+	// (Theorem 2.1's realized c and queue depth).
+	SchedStats sched.Stats
+	// Wall is the wall-clock duration of the operation.
+	Wall time.Duration
+}
+
+// AddSim charges simulated rounds and messages.
+func (c *Cost) AddSim(rounds int, messages int64) {
+	c.Rounds += rounds
+	c.Messages += messages
+}
+
+// AddSched charges one scheduled phase: its rounds/messages join the
+// simulated totals, its realized stats update SchedStats (last-phase
+// rounds/messages, all-phase maxima of load and queueing).
+func (c *Cost) AddSched(st sched.Stats) {
+	c.Rounds += st.Rounds
+	c.Messages += st.Messages
+	c.SchedStats.Rounds = st.Rounds
+	c.SchedStats.Messages = st.Messages
+	if st.MaxArcLoad > c.SchedStats.MaxArcLoad {
+		c.SchedStats.MaxArcLoad = st.MaxArcLoad
+	}
+	if st.MaxQueue > c.SchedStats.MaxQueue {
+		c.SchedStats.MaxQueue = st.MaxQueue
+	}
+}
+
+// MergeSchedStats folds a sub-operation's already-charged scheduler stats
+// into c — last phase's rounds/messages, all-phase maxima of load and
+// queueing — without re-charging the simulated totals (the caller already
+// added those via AddSim). Used where one result aggregates several
+// scheduled sub-operations (min-cut tree packing, 2-ECSS's doubled MST).
+func (c *Cost) MergeSchedStats(st sched.Stats) {
+	if st.Rounds != 0 || st.Messages != 0 {
+		c.SchedStats.Rounds = st.Rounds
+		c.SchedStats.Messages = st.Messages
+	}
+	if st.MaxArcLoad > c.SchedStats.MaxArcLoad {
+		c.SchedStats.MaxArcLoad = st.MaxArcLoad
+	}
+	if st.MaxQueue > c.SchedStats.MaxQueue {
+		c.SchedStats.MaxQueue = st.MaxQueue
+	}
+}

@@ -41,13 +41,13 @@ func E6MST(cfg Config) (*Table, error) {
 			}
 			ours, err := mst.Distributed(g, w, mst.DistOptions{
 				Rng: cfg.rng(int64(d*31 + n)), Diameter: d, LogFactor: cfg.LogFactor,
-				Workers: cfg.Workers,
+				Workers: cfg.Workers, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E6 ours D=%d n=%d: %w", d, n, err)
 			}
 			base, err := mst.Distributed(g, w, mst.DistOptions{
-				Rng: cfg.rng(int64(d*37 + n)), Diameter: d, Baseline: true,
+				Rng: cfg.rng(int64(d*37 + n)), Diameter: d, Baseline: true, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E6 baseline D=%d n=%d: %w", d, n, err)
@@ -94,7 +94,7 @@ func E7MinCut(cfg Config) (*Table, error) {
 		trees := int(math.Ceil(2 * math.Log2(float64(g.NumNodes()))))
 		res, err := mincut.Approx(g, w, mincut.ApproxOptions{
 			Rng: rng, Trees: trees, LogFactor: cfg.LogFactor,
-			Distributed: true,
+			Distributed: true, Ctx: cfg.Ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E7 n=%d: %w", n, err)
@@ -156,7 +156,7 @@ func E8Messages(cfg Config) (*Table, error) {
 			}
 			res, err := shortcut.BuildDistributed(hi.G, p, shortcut.DistOptions{
 				Rng: rng, LogFactor: cfg.LogFactor, KnownDiameter: d,
-				Workers: cfg.Workers,
+				Workers: cfg.Workers, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E8 D=%d n=%d: %w", d, n, err)
@@ -264,12 +264,13 @@ func E12SSSP(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, bfStats, err := sssp.BellmanFord(g, w, src, congest.Options{Workers: cfg.Workers, MaxRounds: 1 << 22})
+		_, bfStats, err := sssp.BellmanFord(g, w, src, congest.Options{Workers: cfg.Workers, MaxRounds: 1 << 22, Ctx: cfg.Ctx})
 		if err != nil {
 			return nil, fmt.Errorf("E12 BF n=%d: %w", n, err)
 		}
 		res, err := sssp.TreeApprox(g, w, src, sssp.TreeOptions{
 			Rng: rng, Diameter: d, LogFactor: cfg.LogFactor, Workers: cfg.Workers,
+			Ctx: cfg.Ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E12 tree n=%d: %w", n, err)
@@ -304,6 +305,7 @@ func E13TwoECSS(cfg Config) (*Table, error) {
 		w := graph.NewUniformWeights(g.NumEdges(), rng)
 		res, err := twoecss.Approx(g, w, twoecss.Options{
 			Rng: rng, LogFactor: cfg.LogFactor, Distributed: true, Workers: cfg.Workers,
+			Ctx: cfg.Ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E13 n=%d: %w", n, err)

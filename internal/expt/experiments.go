@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -39,6 +40,19 @@ type Config struct {
 	ServeExecutors []int
 	// ServeBatches is the batch-size sweep of E14 (nil = default).
 	ServeBatches []int
+	// Ctx, when non-nil, cancels the heavyweight simulated phases of an
+	// experiment cooperatively (lcsbench's -timeout flag threads it here);
+	// a canceled experiment returns a reproerr.KindCanceled/KindDeadline
+	// error within one simulated round.
+	Ctx context.Context
+}
+
+// ctx returns the configured context, or Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // WithDefaults fills unset fields.
@@ -144,7 +158,7 @@ func E1Quality(cfg Config) (*Table, error) {
 				return nil, fmt.Errorf("E1 D=%d n=%d: %w", d, n, err)
 			}
 			s, err := shortcut.Build(hi.G, p, shortcut.Options{
-				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E1 D=%d n=%d: %w", d, n, err)
@@ -188,7 +202,7 @@ func E2Rounds(cfg Config) (*Table, error) {
 			}
 			res, err := shortcut.BuildDistributed(hi.G, p, shortcut.DistOptions{
 				Rng: rng, LogFactor: cfg.LogFactor, KnownDiameter: d,
-				Workers: cfg.Workers,
+				Workers: cfg.Workers, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E2 D=%d n=%d: %w", d, n, err)
@@ -216,7 +230,7 @@ func E3Congestion(cfg Config) (*Table, error) {
 				return nil, fmt.Errorf("E3 D=%d n=%d: %w", d, n, err)
 			}
 			s, err := shortcut.Build(hi.G, p, shortcut.Options{
-				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E3 D=%d n=%d: %w", d, n, err)
@@ -260,7 +274,7 @@ func E4Dilation(cfg Config) (*Table, error) {
 			}
 			trivial := int(p.MaxPartDiameter())
 			s, err := shortcut.Build(hi.G, p, shortcut.Options{
-				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E4 D=%d n=%d: %w", d, n, err)
@@ -294,7 +308,7 @@ func E5Baselines(cfg Config) (*Table, error) {
 				return nil, fmt.Errorf("E5 D=%d n=%d: %w", d, n, err)
 			}
 			ours, err := shortcut.Build(hi.G, p, shortcut.Options{
-				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("E5 D=%d n=%d: %w", d, n, err)
@@ -348,7 +362,7 @@ func E9OddEven(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E9 D=%d: %w", d, err)
 		}
 		s, err := shortcut.Build(hi.G, p, shortcut.Options{
-			Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+			Diameter: d, LogFactor: cfg.LogFactor, Rng: rng, Ctx: cfg.Ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E9 D=%d: %w", d, err)
@@ -427,7 +441,7 @@ func A1Repetitions(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("A1 reps=%d: %w", reps, err)
 		}
 		s, err := shortcut.Build(hi.G, p, shortcut.Options{
-			Diameter: d, Reps: reps, LogFactor: cfg.LogFactor, Rng: rng,
+			Diameter: d, Reps: reps, LogFactor: cfg.LogFactor, Rng: rng, Ctx: cfg.Ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("A1 reps=%d: %w", reps, err)

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -37,6 +38,7 @@ func E14Serving(cfg Config) (*Table, error) {
 	buildStart := time.Now()
 	snap, err := serve.NewSnapshot(g, w, parts, serve.SnapshotOptions{
 		Rng: rng, Diameter: 6, LogFactor: cfg.LogFactor, Workers: cfg.Workers,
+		Ctx: cfg.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("E14: snapshot: %w", err)
@@ -52,7 +54,7 @@ func E14Serving(cfg Config) (*Table, error) {
 	for i := 0; i < rebuildQueries; i++ {
 		if _, err := sssp.TreeApprox(g, w, graph.NodeID(i), sssp.TreeOptions{
 			Rng: cfg.rng(int64(17_000_000_000 + i)), Diameter: 6,
-			LogFactor: cfg.LogFactor, Workers: cfg.Workers,
+			LogFactor: cfg.LogFactor, Workers: cfg.Workers, Ctx: cfg.Ctx,
 		}); err != nil {
 			return nil, fmt.Errorf("E14: rebuild baseline: %w", err)
 		}
@@ -66,7 +68,7 @@ func E14Serving(cfg Config) (*Table, error) {
 			srv := serve.NewServer(snap, serve.ServerOptions{
 				Executors: executors, Workers: cfg.Workers, Seed: cfg.Seed,
 			})
-			elapsed, simRounds, err := fireQueries(srv, g.NumNodes(), cfg.ServeQueries, executors, batch)
+			elapsed, simRounds, err := fireQueries(cfg.ctx(), srv, g.NumNodes(), cfg.ServeQueries, executors, batch)
 			if err != nil {
 				return nil, fmt.Errorf("E14 executors=%d batch=%d: %w", executors, batch, err)
 			}
@@ -102,7 +104,7 @@ func E14Serving(cfg Config) (*Table, error) {
 // so concurrent clients are what exercise the pool). Returns wall-clock time
 // and the summed simulated rounds — per answer for singles, per shared
 // execution for batches.
-func fireQueries(srv *serve.Server, n, q, executors, batch int) (time.Duration, int64, error) {
+func fireQueries(ctx context.Context, srv *serve.Server, n, q, executors, batch int) (time.Duration, int64, error) {
 	if batch <= 0 {
 		batch = 1
 	}
@@ -127,7 +129,7 @@ func fireQueries(srv *serve.Server, n, q, executors, batch int) (time.Duration, 
 				lo := gi * batch
 				size := minInt(batch, q-lo)
 				if batch == 1 {
-					a, err := srv.Serve(serve.SSSPQuery{Source: graph.NodeID(lo * 31 % n)})
+					a, err := srv.ServeCtx(ctx, serve.SSSPQuery{Source: graph.NodeID(lo * 31 % n)})
 					if err != nil {
 						errs <- err
 						return
@@ -139,7 +141,7 @@ func fireQueries(srv *serve.Server, n, q, executors, batch int) (time.Duration, 
 				for i := range queries {
 					queries[i] = serve.SSSPQuery{Source: graph.NodeID((lo + i) * 31 % n)}
 				}
-				answers, err := srv.ServeBatch(queries)
+				answers, err := srv.ServeBatchCtx(ctx, queries)
 				if err != nil {
 					errs <- err
 					return

@@ -11,6 +11,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"repro/internal/cost"
 )
 
 // Table is a simple titled grid of string cells.
@@ -107,6 +109,17 @@ type RunInfo struct {
 	Workers int `json:"workers"`
 	// Seed is the run's base random seed.
 	Seed int64 `json:"seed"`
+	// Canceled reports whether the run was aborted by -timeout (or a
+	// caller's context); the emitted tables are the experiments that
+	// completed before cancellation.
+	Canceled bool `json:"canceled"`
+	// Error carries the cancellation error when Canceled.
+	Error string `json:"error,omitempty"`
+	// Cost is the run's (possibly partial) cost: Wall is the run's real
+	// duration up to completion or cancellation. The simulated fields stay
+	// zero at this level — per-experiment simulated costs live in the table
+	// rows, which cancellation truncates to the completed experiments.
+	Cost *cost.Cost `json:"cost,omitempty"`
 }
 
 // WriteJSON renders a run as a JSON object {run, tables}, where tables is

@@ -25,7 +25,7 @@ func A4Deterministic(cfg Config) (*Table, error) {
 				return nil, fmt.Errorf("A4 D=%d n=%d: %w", d, n, err)
 			}
 			ran, err := shortcut.Build(hi.G, p, shortcut.Options{
-				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+				Diameter: d, LogFactor: cfg.LogFactor, Rng: rng, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return nil, err
@@ -35,7 +35,7 @@ func A4Deterministic(cfg Config) (*Table, error) {
 				return nil, err
 			}
 			det, err := shortcut.BuildDeterministic(hi.G, p, shortcut.Options{
-				Diameter: d, LogFactor: cfg.LogFactor,
+				Diameter: d, LogFactor: cfg.LogFactor, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return nil, err
@@ -70,7 +70,7 @@ func A5Local(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("A5 n=%d: %w", n, err)
 		}
 		full, err := shortcut.Build(hi.G, p, shortcut.Options{
-			Diameter: d, LogFactor: cfg.LogFactor, Rng: rng,
+			Diameter: d, LogFactor: cfg.LogFactor, Rng: rng, Ctx: cfg.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -81,7 +81,7 @@ func A5Local(cfg Config) (*Table, error) {
 		}
 		radius := (d + 1) / 2
 		local, err := shortcut.BuildLocal(hi.G, p, shortcut.LocalOptions{
-			Options: shortcut.Options{Diameter: d, LogFactor: cfg.LogFactor, Rng: rng},
+			Options: shortcut.Options{Diameter: d, LogFactor: cfg.LogFactor, Rng: rng, Ctx: cfg.Ctx},
 			Radius:  radius,
 		})
 		if err != nil {

@@ -1,12 +1,15 @@
 package mincut
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"math/rand"
+	"time"
 
+	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/mst"
+	"repro/internal/reproerr"
 )
 
 // ApproxOptions configures the tree-packing approximation.
@@ -32,6 +35,10 @@ type ApproxOptions struct {
 	// charged here. Loads 1..k-1 then diversify the remaining trees exactly
 	// as in the cold path.
 	FirstTree []graph.EdgeID
+	// Ctx, when non-nil, cancels the computation cooperatively: checked
+	// between packed trees and, when Distributed, at every simulated round
+	// / drain step of each tree's MST.
+	Ctx context.Context
 }
 
 // ApproxResult is the outcome of Approx.
@@ -44,10 +51,10 @@ type ApproxResult struct {
 	Side []graph.NodeID
 	// Trees is the number of packed trees.
 	Trees int
-	// Rounds/Messages aggregate the simulated distributed cost (zero when
-	// Distributed is false).
-	Rounds   int
-	Messages int64
+	// Cost is the unified v2 accounting: Rounds/Messages aggregate the
+	// simulated distributed cost (zero when Distributed is false). Field
+	// promotion keeps the v1 accessors intact.
+	cost.Cost
 }
 
 // DefaultTrees is the packed-tree count Approx uses when Trees is unset:
@@ -56,6 +63,21 @@ type ApproxResult struct {
 // layer's MinCutQuery.Eps) stay in lockstep with the cold path.
 func DefaultTrees(n int) int {
 	k := int(math.Ceil(2 * math.Log2(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// TreesForEps maps an approximation knob ε to a packed-tree count:
+// DefaultTrees(n) scaled by 1/ε, floor 1 — the single rule shared by the
+// facade's WithEps and the serving layer's MinCutQuery.Eps, so the two
+// paths stay bit-equivalent.
+func TreesForEps(n int, eps float64) int {
+	k := DefaultTrees(n)
+	if eps > 0 {
+		k = int(math.Ceil(float64(k) / eps))
+	}
 	if k < 1 {
 		k = 1
 	}
@@ -76,19 +98,21 @@ func DefaultTrees(n int) int {
 // ≤ 2·(1+ε) approximation. All reported cuts are genuine cuts, so Value is
 // always an upper bound on the true minimum.
 func Approx(g *graph.Graph, w graph.Weights, opts ApproxOptions) (*ApproxResult, error) {
-	if opts.Rng == nil {
-		return nil, fmt.Errorf("mincut: ApproxOptions.Rng is required")
+	const op = "mincut.Approx"
+	if err := reproerr.RequireRng(op, opts.Rng); err != nil {
+		return nil, err
 	}
 	if err := w.Validate(g); err != nil {
-		return nil, fmt.Errorf("mincut: %w", err)
+		return nil, reproerr.New(op, reproerr.KindInvalidInput, err)
 	}
 	n := g.NumNodes()
 	if n < 2 {
-		return nil, fmt.Errorf("mincut: need at least 2 nodes")
+		return nil, reproerr.Invalid(op, "need at least 2 nodes")
 	}
 	if !graph.IsConnected(g) {
-		return nil, fmt.Errorf("mincut: graph is disconnected")
+		return nil, reproerr.Invalid(op, "graph is disconnected")
 	}
+	start := time.Now()
 	k := opts.Trees
 	if k <= 0 {
 		k = DefaultTrees(n)
@@ -99,6 +123,9 @@ func Approx(g *graph.Graph, w graph.Weights, opts ApproxOptions) (*ApproxResult,
 	// One scheduler scratch shared by every packed tree's distributed MST.
 	var scratch mst.Scratch
 	for t := 0; t < k; t++ {
+		if err := reproerr.CtxCheck(op, opts.Ctx); err != nil {
+			return nil, err
+		}
 		var tree []graph.EdgeID
 		if t == 0 && len(opts.FirstTree) > 0 {
 			tree = opts.FirstTree
@@ -124,18 +151,19 @@ func Approx(g *graph.Graph, w graph.Weights, opts ApproxOptions) (*ApproxResult,
 				Diameter:  opts.Diameter,
 				LogFactor: opts.LogFactor,
 				Workers:   opts.Workers,
+				Ctx:       opts.Ctx,
 			}, &scratch)
 			if err != nil {
-				return nil, fmt.Errorf("mincut: packing tree %d: %w", t, err)
+				return nil, reproerr.Errorf(op, reproerr.KindOf(err), "packing tree %d: %w", t, err)
 			}
 			tree = dres.Tree
-			res.Rounds += dres.Rounds
-			res.Messages += dres.Messages
+			res.AddSim(dres.Rounds, dres.Messages)
+			res.MergeSchedStats(dres.SchedStats)
 		} else {
 			var err error
 			tree, err = mst.Kruskal(g, packW)
 			if err != nil {
-				return nil, fmt.Errorf("mincut: packing tree %d: %w", t, err)
+				return nil, reproerr.Errorf(op, reproerr.KindOf(err), "packing tree %d: %w", t, err)
 			}
 		}
 		for _, e := range tree {
@@ -152,6 +180,7 @@ func Approx(g *graph.Graph, w graph.Weights, opts ApproxOptions) (*ApproxResult,
 		// charge the tree's depth (computed below) as a conservative bound
 		// is already included in the MST accounting above.
 	}
+	res.Wall = time.Since(start)
 	return res, nil
 }
 

@@ -10,10 +10,10 @@
 package mincut
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // StoerWagner computes the exact weighted global minimum cut of a connected
@@ -22,14 +22,14 @@ import (
 // intended as a correctness oracle at moderate n.
 func StoerWagner(g *graph.Graph, w graph.Weights) (float64, []graph.NodeID, error) {
 	if err := w.Validate(g); err != nil {
-		return 0, nil, fmt.Errorf("mincut: %w", err)
+		return 0, nil, reproerr.New("mincut.StoerWagner", reproerr.KindInvalidInput, err)
 	}
 	n := g.NumNodes()
 	if n < 2 {
-		return 0, nil, fmt.Errorf("mincut: need at least 2 nodes, have %d", n)
+		return 0, nil, reproerr.Invalid("mincut.StoerWagner", "need at least 2 nodes, have %d", n)
 	}
 	if !graph.IsConnected(g) {
-		return 0, nil, fmt.Errorf("mincut: graph is disconnected (cut weight 0)")
+		return 0, nil, reproerr.Invalid("mincut.StoerWagner", "graph is disconnected (cut weight 0)")
 	}
 	// Adjacency matrix of contracted weights.
 	adj := make([][]float64, n)

@@ -1,11 +1,15 @@
 package mst
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
+	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 	"repro/internal/sched"
 	"repro/internal/shortcut"
 )
@@ -37,6 +41,11 @@ type DistOptions struct {
 	DepthFactor float64
 	// MaxRounds bounds each scheduled phase (0 = default).
 	MaxRounds int
+	// Ctx, when non-nil, cancels the computation cooperatively: every
+	// simulated round barrier and scheduler drain step checks it, so the
+	// run aborts within one round of cancellation with a
+	// reproerr.KindCanceled/KindDeadline error.
+	Ctx context.Context
 }
 
 // DistResult reports the distributed MST outcome with cost accounting.
@@ -44,11 +53,13 @@ type DistResult struct {
 	Tree   []graph.EdgeID
 	Weight float64
 	Phases int
-	// Rounds/Messages aggregate all simulated phases. When
-	// SimulateConstruction is false the shortcut-construction rounds are
-	// excluded (documented in EXPERIMENTS.md).
-	Rounds   int
-	Messages int64
+	// Cost is the unified v2 accounting. Rounds/Messages aggregate all
+	// simulated phases (when SimulateConstruction is false the shortcut-
+	// construction rounds are excluded, documented in EXPERIMENTS.md);
+	// SchedStats carries the last scheduled phase's realized drain stats
+	// plus the worst per-arc load and queueing across all phases; Wall is
+	// the real duration. Field promotion keeps v1 accessors intact.
+	cost.Cost
 	// QualitySum records the worst shortcut quality (c + d upper bound)
 	// observed across phases, the quantity Fact 4.1 ties the round
 	// complexity to.
@@ -81,12 +92,14 @@ func Distributed(g *graph.Graph, w graph.Weights, opts DistOptions) (*DistResult
 // DistributedScratch is Distributed with caller-owned reusable state — the
 // snapshot-serving entry point. Results are identical to Distributed.
 func DistributedScratch(g *graph.Graph, w graph.Weights, opts DistOptions, scratch *Scratch) (*DistResult, error) {
-	if opts.Rng == nil {
-		return nil, fmt.Errorf("mst: DistOptions.Rng is required")
+	const op = "mst.Distributed"
+	if err := reproerr.RequireRng(op, opts.Rng); err != nil {
+		return nil, err
 	}
 	if err := w.Validate(g); err != nil {
-		return nil, fmt.Errorf("mst: %w", err)
+		return nil, reproerr.New(op, reproerr.KindInvalidInput, err)
 	}
+	start := time.Now()
 	n := g.NumNodes()
 	if n == 0 {
 		return &DistResult{}, nil
@@ -128,8 +141,7 @@ func DistributedScratch(g *graph.Graph, w graph.Weights, opts DistOptions, scrat
 		case opts.Baseline:
 			sc = shortcut.GhaffariHaeupler(p, 0)
 			// Charge the baseline's construction: one global BFS.
-			res.Rounds += int(sc.Params.Diameter)
-			res.Messages += int64(g.NumEdges())
+			res.AddSim(int(sc.Params.Diameter), int64(g.NumEdges()))
 		case opts.SimulateConstruction:
 			dres, err := shortcut.BuildDistributed(g, p, shortcut.DistOptions{
 				Rng:           opts.Rng,
@@ -138,18 +150,19 @@ func DistributedScratch(g *graph.Graph, w graph.Weights, opts DistOptions, scrat
 				DepthFactor:   depthFactor,
 				MaxRounds:     opts.MaxRounds,
 				Workers:       opts.Workers,
+				Ctx:           opts.Ctx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("mst: phase %d shortcuts: %w", res.Phases, err)
 			}
 			sc = dres.S
-			res.Rounds += dres.Rounds
-			res.Messages += dres.Messages
+			res.AddSim(dres.Rounds, dres.Messages)
 		default:
 			sc, err = shortcut.Build(g, p, shortcut.Options{
 				Diameter:  d,
 				LogFactor: opts.LogFactor,
 				Rng:       opts.Rng,
+				Ctx:       opts.Ctx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("mst: phase %d shortcuts: %w", res.Phases, err)
@@ -158,8 +171,7 @@ func DistributedScratch(g *graph.Graph, w graph.Weights, opts DistOptions, scrat
 
 		// One round in which neighbors exchange fragment IDs, so that every
 		// node knows which incident edges are outgoing.
-		res.Rounds++
-		res.Messages += int64(g.NumArcs())
+		res.AddSim(1, int64(g.NumArcs()))
 
 		var qualityHint int
 		winners, qualityHint, err = mwoePhase(g, w, p, sc, uf, depthFactor, opts, sr, forest, winners, res)
@@ -188,6 +200,7 @@ func DistributedScratch(g *graph.Graph, w graph.Weights, opts DistOptions, scrat
 		}
 	}
 	res.Weight = w.Total(res.Tree)
+	res.Wall = time.Since(start)
 	return res, nil
 }
 
@@ -255,13 +268,13 @@ func mwoePhase(
 		Rng:       opts.Rng,
 		MaxRounds: opts.MaxRounds,
 		Workers:   opts.Workers,
+		Ctx:       opts.Ctx,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("scheduled BFS: %w", err)
 	}
 	out := forest
-	res.Rounds += st.Rounds
-	res.Messages += st.Messages
+	res.AddSched(st)
 
 	// Dilation realized by the trees + realized congestion ⇒ quality hint.
 	var deepest int32
@@ -308,12 +321,12 @@ func mwoePhase(
 		Rng:       opts.Rng,
 		MaxRounds: opts.MaxRounds,
 		Workers:   opts.Workers,
+		Ctx:       opts.Ctx,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("MWOE aggregate: %w", err)
 	}
-	res.Rounds += st2.Rounds
-	res.Messages += st2.Messages
+	res.AddSched(st2)
 	return winners, qualityHint, nil
 }
 

@@ -6,10 +6,10 @@
 package mst
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // UnionFind is a standard disjoint-set forest with path compression and
@@ -64,7 +64,7 @@ func (u *UnionFind) Count() int { return u.count }
 // algorithm.
 func Kruskal(g *graph.Graph, w graph.Weights) ([]graph.EdgeID, error) {
 	if err := w.Validate(g); err != nil {
-		return nil, fmt.Errorf("mst: %w", err)
+		return nil, reproerr.New("mst", reproerr.KindInvalidInput, err)
 	}
 	order := make([]graph.EdgeID, g.NumEdges())
 	for e := range order {
@@ -91,7 +91,7 @@ func Kruskal(g *graph.Graph, w graph.Weights) ([]graph.EdgeID, error) {
 // binary heap. It serves as an independent second oracle.
 func Prim(g *graph.Graph, w graph.Weights) ([]graph.EdgeID, error) {
 	if err := w.Validate(g); err != nil {
-		return nil, fmt.Errorf("mst: %w", err)
+		return nil, reproerr.New("mst", reproerr.KindInvalidInput, err)
 	}
 	n := g.NumNodes()
 	if n == 0 {
@@ -187,7 +187,7 @@ func (h *edgeHeap) pop() heapItem {
 // graphs).
 func Boruvka(g *graph.Graph, w graph.Weights) ([]graph.EdgeID, int, error) {
 	if err := w.Validate(g); err != nil {
-		return nil, 0, fmt.Errorf("mst: %w", err)
+		return nil, 0, reproerr.New("mst", reproerr.KindInvalidInput, err)
 	}
 	n := g.NumNodes()
 	uf := NewUnionFind(n)

@@ -168,7 +168,7 @@ func (r *Runner) ParallelMinAggregateInto(dst []AggValue, g *graph.Graph, tasks 
 
 	maxRounds := opts.maxRounds(64*(g.NumNodes()+len(tasks)) + r.starts.last + 64)
 	d.startPool()
-	stats, err := d.drive(&r.starts, maxRounds)
+	stats, err := d.drive(&r.starts, maxRounds, opts)
 	d.stopPool()
 	return dst, stats, err
 }

@@ -88,8 +88,8 @@ type bfsRun struct {
 	r      *Runner
 	g      *graph.Graph
 	tasks  []BFSTask
-	n      int // NumNodes, the dense cell-row stride
-	stride int // words per task row of the visited bitset
+	n      int  // NumNodes, the dense cell-row stride
+	stride int  // words per task row of the visited bitset
 	dense  bool // representation of this run
 }
 
@@ -210,7 +210,7 @@ func (r *Runner) ParallelBFSInto(f *BFSForest, g *graph.Graph, tasks []BFSTask, 
 
 	maxRounds := opts.maxRounds(64*(g.NumNodes()+len(tasks)) + r.starts.last + 64)
 	d.startPool()
-	stats, err := d.drive(&r.starts, maxRounds)
+	stats, err := d.drive(&r.starts, maxRounds, opts)
 	d.stopPool()
 	// Extract even on ErrMaxRounds: partial outcomes are reported, as ever.
 	if dense {

@@ -1,12 +1,12 @@
 package sched
 
 import (
-	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // The deterministic drain.
@@ -50,7 +50,6 @@ const (
 // inline path runs the identical ownership discipline, so the switch is
 // unobservable. It is a variable so tests can force the sharded path.
 var shardedRoundMin = 96
-
 
 // handler is the per-execution behavior plugged into a drainer: task starts
 // (run by the coordinator between rounds) and token deliveries (run by the
@@ -211,9 +210,13 @@ func (d *drainer[T]) send(sh int, pos int32, arc int32, tk T) {
 // drive runs the round loop to quiescence: starts due this round, then one
 // pop-and-deliver sweep of the active worklist. On ErrMaxRounds the
 // accumulated message count is reported but Rounds/MaxArcLoad/MaxQueue stay
-// zero, mirroring the seed scheduler's abort behavior.
-func (d *drainer[T]) drive(sp *startPlan, maxRounds int) (Stats, error) {
+// zero, mirroring the seed scheduler's abort behavior. A cancellable
+// opts.Ctx is polled once per round (a prefetched-channel select, no
+// allocation), so cancellation aborts within one drain step with the same
+// partial-stats shape as a budget overrun.
+func (d *drainer[T]) drive(sp *startPlan, maxRounds int, opts Options) (Stats, error) {
 	var stats Stats
+	done := opts.done()
 	round := 0
 	for {
 		for sp.next < len(sp.order) && sp.delay[sp.order[sp.next]] == int32(round) {
@@ -224,7 +227,14 @@ func (d *drainer[T]) drive(sp *startPlan, maxRounds int) (Stats, error) {
 			break
 		}
 		if round >= maxRounds {
-			return stats, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
+			return stats, reproerr.Errorf("", reproerr.KindBudgetExceeded, "%w (%d)", ErrMaxRounds, maxRounds)
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return stats, reproerr.FromContext("sched", opts.Ctx.Err())
+			default:
+			}
 		}
 		stats.Messages += int64(d.round())
 		round++

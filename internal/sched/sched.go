@@ -27,11 +27,12 @@
 package sched
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // ErrMaxRounds is returned when a schedule fails to drain within the round
@@ -67,6 +68,21 @@ type Options struct {
 	// (BFSTask.Allowed) are called concurrently and must be safe for
 	// concurrent read-only use — every filter in this repository is.
 	Workers int
+	// Ctx, when non-nil, is checked once per drain round: a canceled or
+	// expired context aborts the execution within one round with a
+	// reproerr.KindCanceled/KindDeadline error wrapping ctx.Err(). The
+	// check polls a prefetched Done channel — no allocation, no measurable
+	// cost on the round loop (nil Ctx skips it entirely).
+	Ctx context.Context
+}
+
+// done returns the context's Done channel, or nil when no cancellable
+// context was supplied.
+func (o Options) done() <-chan struct{} {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Done()
 }
 
 func (o Options) maxRounds(def int) int {
@@ -155,7 +171,7 @@ type startPlan struct {
 
 func (sp *startPlan) plan(numTasks int, opts Options) error {
 	if opts.MaxDelay > 0 && opts.Rng == nil {
-		return fmt.Errorf("sched: MaxDelay %d requires Rng", opts.MaxDelay)
+		return reproerr.Invalid("sched", "MaxDelay %d requires Rng", opts.MaxDelay)
 	}
 	maxDelay := opts.MaxDelay
 	if maxDelay < 0 {

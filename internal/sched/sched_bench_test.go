@@ -6,6 +6,7 @@ package sched
 // state (checked in CI by the benchmark smoke step with -benchmem).
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -188,6 +189,39 @@ func BenchmarkParallelMinAggregateFlat(b *testing.B) {
 				rng.Seed(2) // identical schedule every iteration
 				var stats Stats
 				dst, stats, err = runner.ParallelMinAggregateInto(dst, g, flatTasks, Options{MaxDelay: 16, Rng: rng})
+				if err != nil {
+					b.Fatal(err)
+				}
+				messages += stats.Messages
+			}
+			reportMsgRate(b, messages)
+		})
+	}
+}
+
+// BenchmarkParallelBFSFlatCtx is BenchmarkParallelBFSFlat with a live
+// cancellable context threaded through the drain — the API v2 hot path.
+// CI's benchmark smoke asserts it stays at 0 allocs/op: the per-round
+// cancellation check is one poll of a prefetched channel.
+func BenchmarkParallelBFSFlatCtx(b *testing.B) {
+	for _, sz := range benchSizes(b) {
+		b.Run(sz.name, func(b *testing.B) {
+			g, tasks := benchBFSWorkload(b, sz.n)
+			rng := rand.New(rand.NewSource(1))
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			opts := Options{MaxDelay: 16, Rng: rng, Ctx: ctx}
+			var runner Runner
+			var f BFSForest
+			if _, err := runner.ParallelBFSInto(&f, g, tasks, opts); err != nil {
+				b.Fatal(err) // warmup: reach the Runner's steady state
+			}
+			var messages int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng.Seed(1) // identical schedule every iteration
+				stats, err := runner.ParallelBFSInto(&f, g, tasks, opts)
 				if err != nil {
 					b.Fatal(err)
 				}

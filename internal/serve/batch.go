@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 	"repro/internal/sched"
 	"repro/internal/sssp"
 )
@@ -17,6 +20,16 @@ import (
 // query (batched SSSP answers differ only in their Rounds/Messages
 // accounting, which reflects the shared execution).
 func (s *Server) ServeBatch(queries []Query) ([]Answer, error) {
+	return s.ServeBatchCtx(nil, queries)
+}
+
+// ServeBatchCtx is ServeBatch with cooperative cancellation: the context
+// gates every executor checkout and is threaded into the batch's shared
+// scheduler execution, which checks it once per drain round — a canceled
+// batch aborts within one round, returns a reproerr.KindCanceled/
+// KindDeadline error wrapping ctx.Err(), and leaves the executor pool fully
+// usable for the next query. A nil ctx behaves like context.Background.
+func (s *Server) ServeBatchCtx(ctx context.Context, queries []Query) ([]Answer, error) {
 	answers := make([]Answer, len(queries))
 
 	var ssspIdx []int
@@ -26,7 +39,7 @@ func (s *Server) ServeBatch(queries []Query) ([]Answer, error) {
 		}
 	}
 	if len(ssspIdx) > 1 {
-		if err := s.serveSSSPGroup(queries, ssspIdx, answers); err != nil {
+		if err := s.serveSSSPGroup(ctx, queries, ssspIdx, answers); err != nil {
 			return nil, fmt.Errorf("serve: batched sssp: %w", err)
 		}
 	}
@@ -34,7 +47,7 @@ func (s *Server) ServeBatch(queries []Query) ([]Answer, error) {
 		if answers[i] != nil {
 			continue
 		}
-		a, err := s.serveOne(q)
+		a, err := s.serveOne(ctx, q)
 		if err != nil {
 			return nil, fmt.Errorf("serve: batch query %d (%v): %w", i, kindOf(q), err)
 		}
@@ -59,7 +72,7 @@ func kindOf(q Query) any {
 // serveSSSPGroup runs every SSSP query of the batch as one task of a single
 // scheduled parallel-BFS execution restricted to the snapshot's tree edges,
 // then extracts each task's weighted distances from the shared forest.
-func (s *Server) serveSSSPGroup(queries []Query, idx []int, answers []Answer) error {
+func (s *Server) serveSSSPGroup(ctx context.Context, queries []Query, idx []int, answers []Answer) error {
 	sn := s.snap
 	n := sn.g.NumNodes()
 	ts := sn.treeSet
@@ -69,17 +82,21 @@ func (s *Server) serveSSSPGroup(queries []Query, idx []int, answers []Answer) er
 	for t, i := range idx {
 		src := queries[i].(SSSPQuery).Source
 		if src < 0 || int(src) >= n {
-			return fmt.Errorf("sssp: source %d out of range [0,%d)", src, n)
+			return reproerr.Invalid("sssp", "source %d out of range [0,%d)", src, n)
 		}
 		tasks[t] = sched.BFSTask{Root: src, Allowed: allowed, DepthLimit: -1}
 	}
 
-	ex := s.checkout()
+	ex, err := s.checkoutCtx(ctx)
+	if err != nil {
+		return err
+	}
 	defer s.release(ex)
 	stats, err := ex.runner.ParallelBFSInto(&ex.forest, sn.g, tasks, sched.Options{
 		MaxDelay: len(tasks),
 		Rng:      s.queryRng(KindSSSP, int64(len(tasks))),
 		Workers:  s.opts.Workers,
+		Ctx:      ctx,
 	})
 	if err != nil {
 		return err
@@ -90,10 +107,9 @@ func (s *Server) serveSSSPGroup(queries []Query, idx []int, answers []Answer) er
 		out := make([]float64, n)
 		ex.extractWeightedDist(out, sn, ex.forest.Outcome(t))
 		answers[i] = &SSSPAnswer{
-			Source:   src,
-			Dist:     out,
-			Rounds:   stats.Rounds,
-			Messages: stats.Messages,
+			Source: src,
+			Dist:   out,
+			Cost:   cost.Cost{Rounds: stats.Rounds, Messages: stats.Messages, SchedStats: stats},
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -154,4 +155,28 @@ func BenchmarkAmortization100k(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServeSSSPWarmIntoCtx is the warm path through the context-first
+// v2 method with a live cancellable context: CI's benchmark smoke asserts
+// it stays at 0 allocs/op and within noise of the context-free path (the
+// check is a prefetched-channel poll at executor checkout).
+func BenchmarkServeSSSPWarmIntoCtx(b *testing.B) {
+	fx := getBenchFixture(b, 10_000)
+	srv := serve.NewServer(fx.snap, serve.ServerOptions{Executors: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dst := make([]float64, fx.g.NumNodes())
+	var err error
+	if dst, err = srv.ServeSSSPIntoCtx(ctx, dst, 0); err != nil { // warm the executor
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = srv.ServeSSSPIntoCtx(ctx, dst, graph.NodeID(i%fx.g.NumNodes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }

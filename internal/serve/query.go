@@ -1,10 +1,11 @@
 package serve
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"math/rand"
 
+	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/mincut"
 	"repro/internal/shortcut"
@@ -82,10 +83,12 @@ type Answer interface{ answerKind() Kind }
 // snapshot build); for a batched query the shared scheduled execution's cost
 // (identical distances either way).
 type SSSPAnswer struct {
-	Source   graph.NodeID
-	Dist     []float64
-	Rounds   int
-	Messages int64
+	Source graph.NodeID
+	Dist   []float64
+	// Cost is the unified v2 accounting of the answer's marginal simulated
+	// cost (field promotion keeps the v1 a.Rounds / a.Messages accessors
+	// intact).
+	cost.Cost
 }
 
 // MSTAnswer is the snapshot's shortcut-MST. Tree is shared read-only state —
@@ -123,18 +126,9 @@ func (*MinCutAnswer) answerKind() Kind  { return KindMinCut }
 func (*TwoECSSAnswer) answerKind() Kind { return KindTwoECSS }
 func (*QualityAnswer) answerKind() Kind { return KindQuality }
 
-// minCutTrees maps MinCutQuery.Eps to a packed-tree count: mincut's default
-// for Eps ≤ 0, scaled up by 1/Eps otherwise.
-func minCutTrees(n int, eps float64) int {
-	k := mincut.DefaultTrees(n)
-	if eps > 0 {
-		k = int(math.Ceil(float64(k) / eps))
-	}
-	if k < 1 {
-		k = 1
-	}
-	return k
-}
+// minCutTrees maps MinCutQuery.Eps to a packed-tree count — the shared
+// mincut.TreesForEps rule, so the facade's WithEps stays bit-equivalent.
+func minCutTrees(n int, eps float64) int { return mincut.TreesForEps(n, eps) }
 
 // serveMST answers an MSTQuery straight from the snapshot.
 func (sn *Snapshot) serveMST() *MSTAnswer {
@@ -155,13 +149,14 @@ func (sn *Snapshot) serveQuality(q QualityQuery) (*QualityAnswer, error) {
 // serveMinCut answers a MinCutQuery packing `trees` trees with the
 // snapshot's tree as the first. rng must be the query-derived deterministic
 // source.
-func (sn *Snapshot) serveMinCut(trees int, rng *rand.Rand) (*MinCutAnswer, error) {
+func (sn *Snapshot) serveMinCut(ctx context.Context, trees int, rng *rand.Rand) (*MinCutAnswer, error) {
 	res, err := mincut.Approx(sn.g, sn.w, mincut.ApproxOptions{
 		Rng:       rng,
 		Trees:     trees,
 		Diameter:  sn.diameter,
 		LogFactor: sn.logFactor,
 		FirstTree: sn.tree,
+		Ctx:       ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -171,8 +166,8 @@ func (sn *Snapshot) serveMinCut(trees int, rng *rand.Rand) (*MinCutAnswer, error
 
 // serveTwoECSS answers a TwoECSSQuery on the snapshot's tree: the
 // augmentation is deterministic, so no randomness is consumed.
-func (sn *Snapshot) serveTwoECSS() (*TwoECSSAnswer, error) {
-	res, err := twoecss.Approx(sn.g, sn.w, twoecss.Options{Tree: sn.tree})
+func (sn *Snapshot) serveTwoECSS(ctx context.Context) (*TwoECSSAnswer, error) {
+	res, err := twoecss.Approx(sn.g, sn.w, twoecss.Options{Tree: sn.tree, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,14 @@
 package serve
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 	"repro/internal/sched"
 	"repro/internal/sssp"
 )
@@ -76,6 +78,32 @@ func (s *Server) Snapshot() *Snapshot { return s.snap }
 func (s *Server) checkout() *executor  { return <-s.pool }
 func (s *Server) release(ex *executor) { s.pool <- ex }
 
+// checkoutCtx waits for a free executor or for the context: a canceled
+// caller stops occupying the pool queue, and the pool stays fully usable for
+// the next query (cancellation never loses an executor — only a checked-out
+// executor is ever released, and release is unconditional on every serve
+// path). A nil/Background ctx takes the fast path.
+func (s *Server) checkoutCtx(ctx context.Context) (*executor, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if done == nil {
+		return <-s.pool, nil
+	}
+	select { // already canceled: fail before consuming pool capacity
+	case <-done:
+		return nil, reproerr.FromContext("serve", ctx.Err())
+	default:
+	}
+	select {
+	case ex := <-s.pool:
+		return ex, nil
+	case <-done:
+		return nil, reproerr.FromContext("serve", ctx.Err())
+	}
+}
+
 // queryRng derives the deterministic randomness of one query from the server
 // seed, the query kind, and a kind-specific payload (splitmix-style mixing).
 func (s *Server) queryRng(kind Kind, payload int64) *rand.Rand {
@@ -88,8 +116,14 @@ func (s *Server) queryRng(kind Kind, payload int64) *rand.Rand {
 
 // Serve answers one query. The answer is deterministic: independent of the
 // executor that runs it, of concurrent queries, and of pool/worker settings.
-func (s *Server) Serve(q Query) (Answer, error) {
-	a, err := s.serveOne(q)
+func (s *Server) Serve(q Query) (Answer, error) { return s.ServeCtx(nil, q) }
+
+// ServeCtx is Serve with cooperative cancellation: the context gates the
+// executor checkout (a canceled caller never blocks on a busy pool) and is
+// threaded into the query's scheduled/simulated phases, which check it at
+// round granularity. A nil ctx behaves like context.Background.
+func (s *Server) ServeCtx(ctx context.Context, q Query) (Answer, error) {
+	a, err := s.serveOne(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -99,32 +133,44 @@ func (s *Server) Serve(q Query) (Answer, error) {
 
 // serveOne executes one query on a checked-out executor without touching
 // the serving counters (Serve and ServeBatch count delivered answers).
-func (s *Server) serveOne(q Query) (Answer, error) {
+func (s *Server) serveOne(ctx context.Context, q Query) (Answer, error) {
 	switch q := q.(type) {
 	case SSSPQuery:
 		out := make([]float64, s.snap.g.NumNodes())
-		return s.ssspInto(out, q.Source)
+		return s.ssspInto(ctx, out, q.Source)
 	case MSTQuery:
-		ex := s.checkout()
+		ex, err := s.checkoutCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
 		defer s.release(ex)
 		return s.snap.serveMST(), nil
 	case MinCutQuery:
-		ex := s.checkout()
+		ex, err := s.checkoutCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
 		defer s.release(ex)
 		trees := minCutTrees(s.snap.g.NumNodes(), q.Eps)
-		return s.snap.serveMinCut(trees, s.queryRng(KindMinCut, int64(trees)))
+		return s.snap.serveMinCut(ctx, trees, s.queryRng(KindMinCut, int64(trees)))
 	case TwoECSSQuery:
-		ex := s.checkout()
+		ex, err := s.checkoutCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
 		defer s.release(ex)
-		return s.snap.serveTwoECSS()
+		return s.snap.serveTwoECSS(ctx)
 	case QualityQuery:
-		ex := s.checkout()
+		ex, err := s.checkoutCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
 		defer s.release(ex)
 		return s.snap.serveQuality(q)
 	case nil:
-		return nil, fmt.Errorf("serve: nil query")
+		return nil, reproerr.Invalid("serve", "nil query")
 	default:
-		return nil, fmt.Errorf("serve: unknown query type %T", q)
+		return nil, reproerr.Invalid("serve", "unknown query type %T", q)
 	}
 }
 
@@ -133,7 +179,7 @@ func (s *Server) serveOne(q Query) (Answer, error) {
 // output slice.
 func (s *Server) ServeSSSP(src graph.NodeID) (*SSSPAnswer, error) {
 	out := make([]float64, s.snap.g.NumNodes())
-	a, err := s.ssspInto(out, src)
+	a, err := s.ssspInto(nil, out, src)
 	if err != nil {
 		return nil, err
 	}
@@ -142,18 +188,20 @@ func (s *Server) ServeSSSP(src graph.NodeID) (*SSSPAnswer, error) {
 }
 
 // ssspInto runs the warm walk into dst and wraps it as an answer.
-func (s *Server) ssspInto(dst []float64, src graph.NodeID) (*SSSPAnswer, error) {
-	ex := s.checkout()
+func (s *Server) ssspInto(ctx context.Context, dst []float64, src graph.NodeID) (*SSSPAnswer, error) {
+	ex, err := s.checkoutCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	defer s.release(ex)
 	out, err := s.snap.ti.DistancesInto(dst, src, &ex.treeScratch)
 	if err != nil {
 		return nil, err
 	}
 	return &SSSPAnswer{
-		Source:   src,
-		Dist:     out,
-		Rounds:   s.snap.servRounds,
-		Messages: s.snap.servMessages,
+		Source: src,
+		Dist:   out,
+		Cost:   cost.Cost{Rounds: s.snap.servRounds, Messages: s.snap.servMessages},
 	}, nil
 }
 
@@ -162,7 +210,18 @@ func (s *Server) ssspInto(dst []float64, src graph.NodeID) (*SSSPAnswer, error) 
 // dst capacity and a warm executor the query allocates nothing — the
 // property CI's benchmark smoke asserts.
 func (s *Server) ServeSSSPInto(dst []float64, src graph.NodeID) ([]float64, error) {
-	ex := s.checkout()
+	return s.ServeSSSPIntoCtx(nil, dst, src)
+}
+
+// ServeSSSPIntoCtx is ServeSSSPInto with cooperative cancellation gating the
+// executor checkout. The context check is one poll of a prefetched channel:
+// the warm path stays allocation-free and regression-free (CI's benchmark
+// smoke asserts 0 allocs/op on exactly this path).
+func (s *Server) ServeSSSPIntoCtx(ctx context.Context, dst []float64, src graph.NodeID) ([]float64, error) {
+	ex, err := s.checkoutCtx(ctx)
+	if err != nil {
+		return dst, err
+	}
 	defer s.release(ex)
 	out, err := s.snap.ti.DistancesInto(dst, src, &ex.treeScratch)
 	if err != nil {

@@ -25,11 +25,14 @@
 package serve
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
+	"time"
 
+	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/mst"
+	"repro/internal/reproerr"
 	"repro/internal/shortcut"
 	"repro/internal/sssp"
 )
@@ -52,6 +55,12 @@ type SnapshotOptions struct {
 	DilationCutoff int
 	// MaxRounds bounds each simulated build phase (0 = default).
 	MaxRounds int
+	// Ctx, when non-nil, cancels the build cooperatively: the shortcut
+	// construction checks it between sampling steps, the quality
+	// measurement between parts, and the shortcut-MST at every simulated
+	// round / scheduler drain step — a cold multi-second build aborts
+	// within one round of cancellation.
+	Ctx context.Context
 }
 
 // Snapshot is the immutable serving state: everything the query family needs,
@@ -76,12 +85,11 @@ type Snapshot struct {
 
 	// Build cost (paid once) and per-query marginal cost (charged per warm
 	// SSSP answer).
-	buildRounds   int
-	buildMessages int64
-	phases        int
-	qualitySum    int
-	servRounds    int
-	servMessages  int64
+	buildCost    cost.Cost
+	phases       int
+	qualitySum   int
+	servRounds   int
+	servMessages int64
 }
 
 // NewSnapshot builds the serving state for graph g with weights w and the
@@ -91,15 +99,17 @@ type Snapshot struct {
 // the simulated build cost), and indexes the tree for warm per-source
 // queries.
 func NewSnapshot(g *graph.Graph, w graph.Weights, parts [][]graph.NodeID, opts SnapshotOptions) (*Snapshot, error) {
-	if opts.Rng == nil {
-		return nil, fmt.Errorf("serve: SnapshotOptions.Rng is required")
+	const op = "serve.NewSnapshot"
+	if err := reproerr.RequireRng(op, opts.Rng); err != nil {
+		return nil, err
 	}
 	if err := w.Validate(g); err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+		return nil, reproerr.New(op, reproerr.KindInvalidInput, err)
 	}
 	if g.NumNodes() == 0 {
-		return nil, fmt.Errorf("serve: empty graph")
+		return nil, reproerr.Invalid(op, "empty graph")
 	}
+	start := time.Now()
 	d := opts.Diameter
 	if d == 0 {
 		lo, _ := graph.DiameterBounds(g)
@@ -115,17 +125,17 @@ func NewSnapshot(g *graph.Graph, w graph.Weights, parts [][]graph.NodeID, opts S
 
 	p, err := shortcut.NewPartition(g, parts)
 	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "%w", err)
 	}
 	s, err := shortcut.Build(g, p, shortcut.Options{
-		Diameter: d, LogFactor: opts.LogFactor, Rng: opts.Rng,
+		Diameter: d, LogFactor: opts.LogFactor, Rng: opts.Rng, Ctx: opts.Ctx,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("serve: shortcuts: %w", err)
+		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "shortcuts: %w", err)
 	}
-	quality, err := s.Dilation(cutoff)
+	quality, err := s.DilationCtx(opts.Ctx, cutoff)
 	if err != nil {
-		return nil, fmt.Errorf("serve: quality: %w", err)
+		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "quality: %w", err)
 	}
 
 	mres, err := mst.Distributed(g, w, mst.DistOptions{
@@ -134,13 +144,14 @@ func NewSnapshot(g *graph.Graph, w graph.Weights, parts [][]graph.NodeID, opts S
 		LogFactor: opts.LogFactor,
 		Workers:   opts.Workers,
 		MaxRounds: opts.MaxRounds,
+		Ctx:       opts.Ctx,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("serve: shortcut-MST: %w", err)
+		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "shortcut-MST: %w", err)
 	}
 	ti, err := sssp.NewTreeIndex(g, w, mres.Tree)
 	if err != nil {
-		return nil, fmt.Errorf("serve: tree index: %w", err)
+		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "tree index: %w", err)
 	}
 	treeSet := graph.NewBitset(g.NumEdges())
 	for _, e := range mres.Tree {
@@ -148,6 +159,8 @@ func NewSnapshot(g *graph.Graph, w graph.Weights, parts [][]graph.NodeID, opts S
 	}
 	servRounds, servMessages := sssp.TreeServeCost(g.NumNodes(), mres.QualitySum, len(mres.Tree))
 
+	buildCost := mres.Cost
+	buildCost.Wall = time.Since(start)
 	return &Snapshot{
 		g:              g,
 		w:              w,
@@ -161,8 +174,7 @@ func NewSnapshot(g *graph.Graph, w graph.Weights, parts [][]graph.NodeID, opts S
 		diameter:       d,
 		logFactor:      opts.LogFactor,
 		dilationCutoff: cutoff,
-		buildRounds:    mres.Rounds,
-		buildMessages:  mres.Messages,
+		buildCost:      buildCost,
 		phases:         mres.Phases,
 		qualitySum:     mres.QualitySum,
 		servRounds:     servRounds,
@@ -195,5 +207,15 @@ func (sn *Snapshot) TreeWeight() float64 { return sn.treeWeight }
 // BuildCost returns the simulated cost of deriving the shortcut-MST — the
 // one-time investment that warm queries amortize.
 func (sn *Snapshot) BuildCost() (rounds int, messages int64, phases int) {
-	return sn.buildRounds, sn.buildMessages, sn.phases
+	return sn.buildCost.Rounds, sn.buildCost.Messages, sn.phases
 }
+
+// Phases returns the number of Borůvka phases the shortcut-MST took — the
+// v2 companion to Cost() (BuildCost's third value).
+func (sn *Snapshot) Phases() int { return sn.phases }
+
+// Cost returns the unified v2 accounting of the snapshot build: the
+// shortcut-MST's simulated rounds/messages and scheduler stats, plus the
+// wall-clock time of the whole build (partition validation through tree
+// indexing).
+func (sn *Snapshot) Cost() cost.Cost { return sn.buildCost }

@@ -1,11 +1,12 @@
 package shortcut
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // Options configures the centralized construction.
@@ -23,7 +24,14 @@ type Options struct {
 	LogFactor float64
 	// Rng supplies randomness and must be non-nil.
 	Rng *rand.Rand
+	// Ctx, when non-nil, lets a caller abort the construction between its
+	// sampling steps (the facade's context-first entry points thread their
+	// context here; nil behaves like context.Background).
+	Ctx context.Context
 }
+
+// ctxCheck returns the typed cancellation error if ctx is done.
+func ctxCheck(op string, ctx context.Context) error { return reproerr.CtxCheck(op, ctx) }
 
 // Build runs the centralized shortcut construction of Section 2:
 //
@@ -38,12 +46,13 @@ type Options struct {
 // construction below (one draw at p) is distribution-identical; tree.go
 // retains the per-level √p semantics for the dilation analysis artifacts.
 func Build(g *graph.Graph, p *Partition, opts Options) (*Shortcuts, error) {
-	if opts.Rng == nil {
-		return nil, fmt.Errorf("shortcut: Options.Rng is required")
+	const op = "shortcut.Build"
+	if err := reproerr.RequireRng(op, opts.Rng); err != nil {
+		return nil, err
 	}
 	n := g.NumNodes()
 	if n == 0 {
-		return nil, fmt.Errorf("shortcut: empty graph")
+		return nil, reproerr.Invalid(op, "empty graph")
 	}
 	d := opts.Diameter
 	if d == 0 {
@@ -51,7 +60,10 @@ func Build(g *graph.Graph, p *Partition, opts Options) (*Shortcuts, error) {
 		d = int(lo)
 	}
 	if d < 1 {
-		return nil, fmt.Errorf("shortcut: diameter %d < 1", d)
+		return nil, reproerr.Invalid(op, "diameter %d < 1", d)
+	}
+	if err := ctxCheck(op, opts.Ctx); err != nil {
+		return nil, err
 	}
 	params := DeriveParams(n, d, opts.Reps, opts.LogFactor)
 
@@ -89,6 +101,9 @@ func Build(g *graph.Graph, p *Partition, opts Options) (*Shortcuts, error) {
 		}
 	}
 
+	if err := ctxCheck(op, opts.Ctx); err != nil {
+		return nil, err
+	}
 	// Step 2: per directed arc (u, v) and repetition, sample the set of
 	// large parts (with u outside the part) that take the edge. Geometric
 	// skip-sampling keeps the work proportional to the number of hits.

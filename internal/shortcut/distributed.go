@@ -1,12 +1,16 @@
 package shortcut
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/congest"
+	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 	"repro/internal/sched"
 )
 
@@ -36,18 +40,26 @@ type DistOptions struct {
 	// CongestionCapFactor·Reps·kD·ln(n)·LogFactor fails immediately, as in
 	// the paper's verification step.
 	CongestionCapFactor float64
+	// Ctx, when non-nil, cancels the construction cooperatively: it is
+	// checked at every simulated round barrier (CONGEST engine) and every
+	// scheduler drain step, so the run aborts within one round of
+	// cancellation with a reproerr.KindCanceled/KindDeadline error.
+	Ctx context.Context
 }
 
 // DistResult is the outcome of the distributed construction with exact
 // simulated cost accounting.
 type DistResult struct {
 	S *Shortcuts
-	// Rounds and Messages aggregate every simulated phase across every
-	// diameter guess: leader election, global BFS, per-guess part BFS,
-	// verification exchanges, enumeration, broadcast, and the scheduled
-	// parallel BFS.
-	Rounds   int
-	Messages int64
+	// Cost is the unified v2 accounting: Rounds and Messages aggregate
+	// every simulated phase across every diameter guess (leader election,
+	// global BFS, per-guess part BFS, verification exchanges, enumeration,
+	// broadcast, and the scheduled parallel BFS); SchedStats is the
+	// scheduler accounting of the successful guess's parallel-BFS phase
+	// (realized congestion/queueing); Wall is the construction's real
+	// duration. Field promotion keeps the v1 accessors (res.Rounds,
+	// res.Messages, res.SchedStats) intact.
+	cost.Cost
 	// Guesses is the number of diameter guesses tried (1 when
 	// KnownDiameter is set).
 	Guesses int
@@ -55,9 +67,6 @@ type DistResult struct {
 	Diameter int
 	// EccApprox is the leader eccentricity found by phase 0 (ecc ≤ D ≤ 2ecc).
 	EccApprox int32
-	// SchedStats is the scheduler accounting of the successful guess's
-	// parallel-BFS phase (realized congestion/queueing).
-	SchedStats sched.Stats
 }
 
 // BuildDistributed runs the paper's distributed shortcut construction
@@ -86,18 +95,20 @@ type DistResult struct {
 // All knowledge used by the simulated nodes is either local, carried by
 // simulated messages, or standard CONGEST input (IDs, n, part leader IDs).
 func BuildDistributed(g *graph.Graph, p *Partition, opts DistOptions) (*DistResult, error) {
-	if opts.Rng == nil {
-		return nil, fmt.Errorf("shortcut: DistOptions.Rng is required")
+	const op = "shortcut.BuildDistributed"
+	if err := reproerr.RequireRng(op, opts.Rng); err != nil {
+		return nil, err
 	}
 	n := g.NumNodes()
 	if n == 0 {
-		return nil, fmt.Errorf("shortcut: empty graph")
+		return nil, reproerr.Invalid(op, "empty graph")
 	}
 	maxR := opts.MaxRounds
 	if maxR <= 0 {
 		maxR = 64*n + 4096
 	}
-	eng := congest.NewEngine(congest.Options{Workers: opts.Workers, MaxRounds: maxR})
+	start := time.Now()
+	eng := congest.NewEngine(congest.Options{Workers: opts.Workers, MaxRounds: maxR, Ctx: opts.Ctx})
 
 	res := &DistResult{}
 
@@ -137,6 +148,7 @@ func BuildDistributed(g *graph.Graph, p *Partition, opts DistOptions) (*DistResu
 		if ok {
 			res.S = sc
 			res.Diameter = guess
+			res.Wall = time.Since(start)
 			return res, nil
 		}
 	}
@@ -152,15 +164,12 @@ type schedScratch struct {
 	verdicts []sched.AggValue
 }
 
-func (r *DistResult) addStats(st congest.Stats) {
-	r.Rounds += st.Rounds
-	r.Messages += st.Messages
-}
+// addStats and addSched charge one simulated phase; the successful guess's
+// parallel-BFS stats are assigned to Cost.SchedStats separately, preserving
+// the v1 field semantics exactly.
+func (r *DistResult) addStats(st congest.Stats) { r.AddSim(st.Rounds, st.Messages) }
 
-func (r *DistResult) addSched(st sched.Stats) {
-	r.Rounds += st.Rounds
-	r.Messages += st.Messages
-}
+func (r *DistResult) addSched(st sched.Stats) { r.AddSim(st.Rounds, st.Messages) }
 
 func tryGuess(
 	g *graph.Graph,
@@ -301,6 +310,7 @@ func tryGuess(
 		Rng:       opts.Rng,
 		MaxRounds: schedMax,
 		Workers:   opts.Workers,
+		Ctx:       opts.Ctx,
 	})
 	if err != nil {
 		return nil, false, fmt.Errorf("scheduled BFS: %w", err)
@@ -350,6 +360,7 @@ func tryGuess(
 		Rng:       opts.Rng,
 		MaxRounds: schedMax,
 		Workers:   opts.Workers,
+		Ctx:       opts.Ctx,
 	})
 	if err != nil {
 		return nil, false, fmt.Errorf("verification convergecast: %w", err)

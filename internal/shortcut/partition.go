@@ -24,9 +24,8 @@
 package shortcut
 
 import (
-	"fmt"
-
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // Part is one connected vertex subset with its designated leader — the
@@ -59,15 +58,15 @@ func NewPartition(g *graph.Graph, parts [][]graph.NodeID) (*Partition, error) {
 	}
 	for i, nodes := range parts {
 		if len(nodes) == 0 {
-			return nil, fmt.Errorf("partition: part %d is empty", i)
+			return nil, reproerr.Invalid("shortcut.NewPartition", "part %d is empty", i)
 		}
 		leader := nodes[0]
 		for _, v := range nodes {
 			if v < 0 || int(v) >= g.NumNodes() {
-				return nil, fmt.Errorf("partition: part %d: node %d out of range", i, v)
+				return nil, reproerr.Invalid("shortcut.NewPartition", "part %d: node %d out of range", i, v)
 			}
 			if p.partOf[v] != -1 {
-				return nil, fmt.Errorf("partition: node %d in parts %d and %d", v, p.partOf[v], i)
+				return nil, reproerr.Invalid("shortcut.NewPartition", "node %d in parts %d and %d", v, p.partOf[v], i)
 			}
 			p.partOf[v] = int32(i)
 			if v > leader {
@@ -75,7 +74,7 @@ func NewPartition(g *graph.Graph, parts [][]graph.NodeID) (*Partition, error) {
 			}
 		}
 		if !graph.IsNodeSetConnected(g, nodes) {
-			return nil, fmt.Errorf("partition: part %d is not connected", i)
+			return nil, reproerr.Invalid("shortcut.NewPartition", "part %d is not connected", i)
 		}
 		copied := make([]graph.NodeID, len(nodes))
 		copy(copied, nodes)

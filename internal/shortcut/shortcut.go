@@ -1,10 +1,12 @@
 package shortcut
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // Shortcuts is a computed shortcut assignment: part i is augmented with the
@@ -155,9 +157,19 @@ func (s *Shortcuts) CongestionProfile() []int {
 // means always exact. A disconnected augmented part yields an error (Build
 // never produces one: Step 1 keeps G[Si] intact).
 func (s *Shortcuts) Dilation(exactCutoff int) (Quality, error) {
+	return s.DilationCtx(nil, exactCutoff)
+}
+
+// DilationCtx is Dilation with cooperative cancellation, checked between
+// parts (the per-part BFS sweep is the expensive unit). A nil ctx behaves
+// like context.Background.
+func (s *Shortcuts) DilationCtx(ctx context.Context, exactCutoff int) (Quality, error) {
 	var q Quality
 	q.Exact = true
 	for i := 0; i < s.P.NumParts(); i++ {
+		if err := ctxCheck("shortcut.Dilation", ctx); err != nil {
+			return q, err
+		}
 		pq, err := s.PartDilation(i, exactCutoff)
 		if err != nil {
 			return q, err
@@ -186,7 +198,7 @@ func (s *Shortcuts) PartDilation(i, exactCutoff int) (Quality, error) {
 	var q Quality
 	q.Exact = true
 	if i < 0 || i >= s.P.NumParts() {
-		return q, fmt.Errorf("shortcut: part %d out of range [0,%d)", i, s.P.NumParts())
+		return q, reproerr.Invalid("shortcut.PartDilation", "part %d out of range [0,%d)", i, s.P.NumParts())
 	}
 	part := s.P.Part(i)
 	var h []graph.EdgeID
@@ -197,14 +209,14 @@ func (s *Shortcuts) PartDilation(i, exactCutoff int) (Quality, error) {
 	if exactCutoff <= 0 || len(part.Nodes) <= exactCutoff {
 		d := view.DiameterAmong(part.Nodes)
 		if d < 0 {
-			return q, fmt.Errorf("shortcut: part %d disconnected in augmented subgraph", i)
+			return q, reproerr.Invalid("shortcut.PartDilation", "part %d disconnected in augmented subgraph", i)
 		}
 		q.DilationLo, q.DilationHi = d, d
 		return q, nil
 	}
 	ecc := view.EccentricityAmong(part.Leader, part.Nodes)
 	if ecc < 0 {
-		return q, fmt.Errorf("shortcut: part %d disconnected in augmented subgraph", i)
+		return q, reproerr.Invalid("shortcut.PartDilation", "part %d disconnected in augmented subgraph", i)
 	}
 	q.Exact = false
 	q.DilationLo, q.DilationHi = ecc, 2*ecc

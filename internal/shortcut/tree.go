@@ -1,10 +1,10 @@
 package shortcut
 
 import (
-	"fmt"
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // AuxGraph materializes the paper's auxiliary layered graph G_{P,Q,ℓ}
@@ -36,16 +36,16 @@ type AuxGraph struct {
 // connect to the root).
 func NewAuxGraph(base *graph.Graph, p, q []graph.NodeID, ell int) (*AuxGraph, error) {
 	if ell < 2 {
-		return nil, fmt.Errorf("aux graph: ℓ=%d < 2", ell)
+		return nil, reproerr.Invalid("shortcut.NewAuxGraph", "aux graph: ℓ=%d < 2", ell)
 	}
 	if len(p) == 0 || len(q) == 0 {
-		return nil, fmt.Errorf("aux graph: empty P or Q")
+		return nil, reproerr.Invalid("shortcut.NewAuxGraph", "aux graph: empty P or Q")
 	}
 	// Validate the distance requirement with one multi-source BFS from Q.
 	res := graph.MultiSourceBFS(base, q)
 	for _, u := range p {
 		if res.Dist[u] == graph.Unreached || res.Dist[u] > int32(ell) {
-			return nil, fmt.Errorf("aux graph: dist(p=%d, Q) = %d exceeds ℓ=%d", u, res.Dist[u], ell)
+			return nil, reproerr.Invalid("shortcut.NewAuxGraph", "aux graph: dist(p=%d, Q) = %d exceeds ℓ=%d", u, res.Dist[u], ell)
 		}
 	}
 

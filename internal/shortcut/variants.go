@@ -1,10 +1,10 @@
 package shortcut
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // The paper leaves two directions open (Section 1): derandomizing the
@@ -21,9 +21,10 @@ import (
 // most Reps·⌈p·N'⌉ parts by construction); dilation loses its probabilistic
 // guarantee and is evaluated empirically (experiment A4).
 func BuildDeterministic(g *graph.Graph, p *Partition, opts Options) (*Shortcuts, error) {
+	const op = "shortcut.BuildDeterministic"
 	n := g.NumNodes()
 	if n == 0 {
-		return nil, fmt.Errorf("shortcut: empty graph")
+		return nil, reproerr.Invalid(op, "empty graph")
 	}
 	d := opts.Diameter
 	if d == 0 {
@@ -31,7 +32,7 @@ func BuildDeterministic(g *graph.Graph, p *Partition, opts Options) (*Shortcuts,
 		d = int(lo)
 	}
 	if d < 1 {
-		return nil, fmt.Errorf("shortcut: diameter %d < 1", d)
+		return nil, reproerr.Invalid(op, "diameter %d < 1", d)
 	}
 	params := DeriveParams(n, d, opts.Reps, opts.LogFactor)
 	sc := &Shortcuts{
@@ -119,12 +120,13 @@ type LocalOptions struct {
 // are not sampled into Hi. Total shortcut size Σ|Hi| (the message-complexity
 // driver) drops correspondingly; experiment A5 measures the quality impact.
 func BuildLocal(g *graph.Graph, p *Partition, opts LocalOptions) (*Shortcuts, error) {
-	if opts.Rng == nil {
-		return nil, fmt.Errorf("shortcut: LocalOptions.Rng is required")
+	const op = "shortcut.BuildLocal"
+	if err := reproerr.RequireRng(op, opts.Rng); err != nil {
+		return nil, err
 	}
 	n := g.NumNodes()
 	if n == 0 {
-		return nil, fmt.Errorf("shortcut: empty graph")
+		return nil, reproerr.Invalid(op, "empty graph")
 	}
 	d := opts.Diameter
 	if d == 0 {
@@ -132,7 +134,7 @@ func BuildLocal(g *graph.Graph, p *Partition, opts LocalOptions) (*Shortcuts, er
 		d = int(lo)
 	}
 	if d < 1 {
-		return nil, fmt.Errorf("shortcut: diameter %d < 1", d)
+		return nil, reproerr.Invalid(op, "diameter %d < 1", d)
 	}
 	radius := opts.Radius
 	if radius <= 0 {

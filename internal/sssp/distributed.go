@@ -1,13 +1,16 @@
 package sssp
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/congest"
+	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/mst"
+	"repro/internal/reproerr"
 )
 
 const kindDist uint8 = 64 // A = Float64bits of sender's distance
@@ -56,7 +59,7 @@ func (b *bfNode) Done() bool { return true }
 // shortcut-based SSSP addresses.
 func BellmanFord(g *graph.Graph, w graph.Weights, src graph.NodeID, opts congest.Options) ([]float64, congest.Stats, error) {
 	if err := w.Validate(g); err != nil {
-		return nil, congest.Stats{}, fmt.Errorf("sssp: %w", err)
+		return nil, congest.Stats{}, reproerr.New("sssp.BellmanFord", reproerr.KindInvalidInput, err)
 	}
 	factory := func(v *congest.View) congest.Program {
 		return &bfNode{
@@ -86,13 +89,20 @@ type TreeOptions struct {
 	// (engine and scheduler); 0 = sequential. Results are identical for
 	// every setting.
 	Workers int
+	// MaxRounds bounds each scheduled phase of the underlying MST
+	// (0 = default).
+	MaxRounds int
+	// Ctx, when non-nil, cancels the computation cooperatively at every
+	// simulated round / drain step of the underlying MST.
+	Ctx context.Context
 }
 
 // TreeResult is the outcome of TreeApprox.
 type TreeResult struct {
-	Dist     []float64
-	Rounds   int
-	Messages int64
+	Dist []float64
+	// Cost is the unified v2 accounting (field promotion keeps the v1
+	// res.Rounds / res.Messages accessors intact).
+	cost.Cost
 }
 
 // TreeApprox computes approximate SSSP distances as distances within a
@@ -103,17 +113,21 @@ type TreeResult struct {
 // Dijkstra is reported by the E12 experiment; Corollary 4.2's (log n)^O(1/ε)
 // stretch machinery [HL18] is substituted per DESIGN.md.
 func TreeApprox(g *graph.Graph, w graph.Weights, src graph.NodeID, opts TreeOptions) (*TreeResult, error) {
-	if opts.Rng == nil {
-		return nil, fmt.Errorf("sssp: TreeOptions.Rng is required")
+	const op = "sssp.TreeApprox"
+	if err := reproerr.RequireRng(op, opts.Rng); err != nil {
+		return nil, err
 	}
+	start := time.Now()
 	mres, err := mst.Distributed(g, w, mst.DistOptions{
 		Rng:       opts.Rng,
 		Diameter:  opts.Diameter,
 		LogFactor: opts.LogFactor,
 		Workers:   opts.Workers,
+		MaxRounds: opts.MaxRounds,
+		Ctx:       opts.Ctx,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("sssp: %w", err)
+		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "%w", err)
 	}
 	// Distances within the tree from src (centralized walk over the tree;
 	// distributedly this is one upcast/downcast over the tree, charged as
@@ -128,11 +142,11 @@ func TreeApprox(g *graph.Graph, w graph.Weights, src graph.NodeID, opts TreeOpti
 		return nil, err
 	}
 	rounds, messages := TreeServeCost(g.NumNodes(), mres.QualitySum, len(mres.Tree))
-	return &TreeResult{
-		Dist:     dist,
-		Rounds:   mres.Rounds + rounds,
-		Messages: mres.Messages + messages,
-	}, nil
+	res := &TreeResult{Dist: dist}
+	res.Cost = mres.Cost
+	res.AddSim(rounds, messages)
+	res.Wall = time.Since(start)
+	return res, nil
 }
 
 // TreeServeCost is the marginal simulated cost of answering one SSSP query

@@ -8,10 +8,10 @@
 package sssp
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // Infinite marks unreachable nodes in distance arrays.
@@ -20,7 +20,7 @@ var Infinite = math.Inf(1)
 // Dijkstra computes exact shortest-path distances from src.
 func Dijkstra(g *graph.Graph, w graph.Weights, src graph.NodeID) ([]float64, error) {
 	if err := w.Validate(g); err != nil {
-		return nil, fmt.Errorf("sssp: %w", err)
+		return nil, reproerr.New("sssp.Dijkstra", reproerr.KindInvalidInput, err)
 	}
 	n := g.NumNodes()
 	dist := make([]float64, n)

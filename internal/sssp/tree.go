@@ -1,9 +1,8 @@
 package sssp
 
 import (
-	"fmt"
-
 	"repro/internal/graph"
+	"repro/internal/reproerr"
 )
 
 // TreeIndex is the immutable, query-reentrant form of a spanning tree: the
@@ -26,7 +25,7 @@ func NewTreeIndex(g *graph.Graph, w graph.Weights, tree []graph.EdgeID) (*TreeIn
 	ti := &TreeIndex{off: make([]int32, n+1)}
 	for _, e := range tree {
 		if e < 0 || int(e) >= g.NumEdges() {
-			return nil, fmt.Errorf("sssp: tree edge %d out of range", e)
+			return nil, reproerr.Invalid("sssp.NewTreeIndex", "tree edge %d out of range", e)
 		}
 		u, v := g.EdgeEndpoints(e)
 		ti.off[u+1]++
@@ -72,7 +71,7 @@ type TreeScratch struct {
 func (ti *TreeIndex) DistancesInto(dst []float64, src graph.NodeID, sc *TreeScratch) ([]float64, error) {
 	n := ti.NumNodes()
 	if src < 0 || int(src) >= n {
-		return dst, fmt.Errorf("sssp: source %d out of range [0,%d)", src, n)
+		return dst, reproerr.Invalid("sssp.Distances", "source %d out of range [0,%d)", src, n)
 	}
 	if cap(dst) < n {
 		dst = make([]float64, n)

@@ -1,0 +1,34 @@
+// Package testx holds small shared test helpers. It is imported only from
+// _test files.
+package testx
+
+import (
+	"runtime"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and returns a check function for
+// deferral: the check retries for up to ~2s (workers unwind asynchronously
+// after a canceled run returns) and then calls fail with a diagnostic if
+// goroutines remain above the snapshot. Usage:
+//
+//	defer testx.LeakCheck(t.Fatalf)()
+func LeakCheck(fail func(format string, args ...any)) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		var after int
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			fail("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+	}
+}

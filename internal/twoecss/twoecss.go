@@ -6,12 +6,15 @@
 package twoecss
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 	"sort"
+	"time"
 
+	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/mst"
+	"repro/internal/reproerr"
 )
 
 // Bridges returns the bridge edges of the subgraph formed by the given edge
@@ -102,6 +105,10 @@ func IsTwoEdgeConnected(g *graph.Graph, edges []graph.EdgeID) bool {
 
 // Options configures Approx.
 type Options struct {
+	// Rng drives the distributed shortcut-MST. Required unless a prebuilt
+	// Tree is supplied (the one purely deterministic member of the family);
+	// the requirement and its error are the shared v2 validation every
+	// sibling package uses.
 	Rng *rand.Rand
 	// Diameter / LogFactor as in the shortcut framework.
 	Diameter  int
@@ -119,6 +126,9 @@ type Options struct {
 	// Rng is not required. Rounds/Messages stay zero (the tree's cost was
 	// charged at snapshot build).
 	Tree []graph.EdgeID
+	// Ctx, when non-nil, cancels the underlying distributed MST
+	// cooperatively at every simulated round / drain step.
+	Ctx context.Context
 }
 
 // Result is the outcome of Approx.
@@ -128,8 +138,9 @@ type Result struct {
 	// LowerBound is a certified lower bound on the optimal 2-ECSS weight
 	// (the MST weight — every 2-ECSS is a connected spanning subgraph).
 	LowerBound float64
-	Rounds     int
-	Messages   int64
+	// Cost is the unified v2 accounting (field promotion keeps the v1
+	// res.Rounds / res.Messages accessors intact).
+	cost.Cost
 }
 
 // Ratio returns Weight / LowerBound, an upper bound on the true
@@ -147,12 +158,16 @@ func (r *Result) Ratio() float64 {
 // covers its tree path; a union-find skips already-covered segments). It
 // errors if g itself is not 2-edge-connected.
 func Approx(g *graph.Graph, w graph.Weights, opts Options) (*Result, error) {
-	if opts.Rng == nil && len(opts.Tree) == 0 {
-		return nil, fmt.Errorf("twoecss: Options.Rng is required")
+	const op = "twoecss.Approx"
+	if len(opts.Tree) == 0 {
+		if err := reproerr.RequireRng(op, opts.Rng); err != nil {
+			return nil, err
+		}
 	}
 	if err := w.Validate(g); err != nil {
-		return nil, fmt.Errorf("twoecss: %w", err)
+		return nil, reproerr.New(op, reproerr.KindInvalidInput, err)
 	}
+	start := time.Now()
 	n := g.NumNodes()
 	res := &Result{}
 
@@ -165,24 +180,25 @@ func Approx(g *graph.Graph, w graph.Weights, opts Options) (*Result, error) {
 			Diameter:  opts.Diameter,
 			LogFactor: opts.LogFactor,
 			Workers:   opts.Workers,
+			Ctx:       opts.Ctx,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("twoecss: %w", err)
+			return nil, reproerr.Errorf(op, reproerr.KindOf(err), "%w", err)
 		}
 		tree = mres.Tree
 		// [DG19] structure: the augmentation is one more MST-like phase;
 		// charge it at the same cost.
-		res.Rounds = 2 * mres.Rounds
-		res.Messages = 2 * mres.Messages
+		res.AddSim(2*mres.Rounds, 2*mres.Messages)
+		res.MergeSchedStats(mres.SchedStats)
 	} else {
 		var err error
 		tree, err = mst.Kruskal(g, w)
 		if err != nil {
-			return nil, fmt.Errorf("twoecss: %w", err)
+			return nil, reproerr.Errorf(op, reproerr.KindOf(err), "%w", err)
 		}
 	}
 	if len(tree) != n-1 {
-		return nil, fmt.Errorf("twoecss: graph is disconnected")
+		return nil, reproerr.Invalid(op, "graph is disconnected")
 	}
 	res.LowerBound = w.Total(tree)
 
@@ -276,9 +292,10 @@ func Approx(g *graph.Graph, w graph.Weights, opts Options) (*Result, error) {
 	// Any tree edge still uncovered is a bridge of G itself, so the final
 	// 2-edge-connectivity check doubles as input validation.
 	if !IsTwoEdgeConnected(g, chosen) {
-		return nil, fmt.Errorf("twoecss: input graph is not 2-edge-connected")
+		return nil, reproerr.Invalid(op, "input graph is not 2-edge-connected")
 	}
 	res.Edges = chosen
 	res.Weight = w.Total(chosen)
+	res.Wall = time.Since(start)
 	return res, nil
 }
