@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/cost"
+	"repro/internal/graph"
 	"repro/internal/mincut"
 	"repro/internal/mst"
 	"repro/internal/serve"
@@ -221,6 +222,90 @@ func NewServerV2(snap *Snapshot, opts ...Option) (*Server, error) {
 		return nil, err
 	}
 	return serve.NewServer(snap, serve.ServerOptions{
+		Executors: cfg.Executors,
+		Workers:   cfg.Workers,
+		Seed:      cfg.serverSeed(),
+	}), nil
+}
+
+// Dynamic graphs: incremental snapshot updates and hot-swap serving.
+//
+// A Snapshot built by NewSnapshotCtx is one link of a delta chain:
+// ApplyDeltaCtx absorbs a batch of edge mutations by part-local repair and
+// returns a new Snapshot whose query answers are bit-identical to a
+// from-scratch NewSnapshotCtx on the post-delta graph with the same seed —
+// at a cost that scales with the parts the delta touches, not with n. A
+// Store hot-swaps the active snapshot under live traffic; NewStoreServerV2
+// serves whatever the store holds, pinning the epoch per query.
+
+// Delta is a batch of edge mutations over a fixed vertex set: deletions
+// (by endpoints) applied before insertions (with weights).
+type Delta = graph.Delta
+
+// DeltaEdge is one edge insertion of a Delta.
+type DeltaEdge = graph.DeltaEdge
+
+// DeltaRemap records how ApplyGraphDelta renumbered edges (EdgeIDs are
+// canonical, so mutations shift them); per-edge annotations migrate through
+// it.
+type DeltaRemap = graph.DeltaRemap
+
+// ApplyGraphDelta applies a batch of edge mutations to a graph, returning
+// the new graph (bit-identical to building the post-delta edge set from
+// scratch), migrated weights, and the edge-ID remap. The input graph is
+// never modified. Snapshot holders normally use ApplyDeltaCtx, which does
+// this and repairs the serving state in one step.
+func ApplyGraphDelta(g *Graph, w Weights, d Delta) (*Graph, Weights, *DeltaRemap, error) {
+	return graph.ApplyDelta(g, w, d)
+}
+
+// Store owns a chain of epoch-tagged Snapshots and atomically swaps the
+// active one under live traffic; retired snapshots drain lock-free (see
+// Store.SwapCtx).
+type Store = serve.Store
+
+// RepairInfo describes the incremental update that produced a repaired
+// snapshot (Snapshot.Repair).
+type RepairInfo = serve.RepairInfo
+
+// NewStore creates a store serving snap at epoch 1.
+func NewStore(snap *Snapshot) *Store { return serve.NewStore(snap) }
+
+// ApplyDeltaCtx applies a batch of edge mutations to a snapshot's graph and
+// repairs the serving state part-locally under ctx: only the parts whose
+// shortcut subgraphs the delta invalidates are re-sampled and re-verified
+// (random-delay scheduling, reusing pooled scheduler state), the per-part
+// quality record is patched, and the shortcut-MST is re-derived through the
+// centralized Borůvka mirror. The result is bit-identical, query for query,
+// to a from-scratch NewSnapshotCtx on the post-delta graph with the same
+// seed and WithDiameter(snap.Diameter()) — the repair pins the base build's
+// diameter, so a rebuild that lets the diameter re-estimate from the
+// mutated graph may derive different (equally valid) parameters. Its
+// Cost() reports the repair's price. WithWorkers and WithMaxRounds apply;
+// the sampling seed is inherited from the snapshot's build, so no WithSeed
+// is needed.
+func ApplyDeltaCtx(ctx context.Context, snap *Snapshot, delta Delta, opts ...Option) (*Snapshot, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return serve.ApplyDelta(ctx, snap, delta, serve.DeltaOptions{
+		Workers:   cfg.Workers,
+		MaxRounds: cfg.MaxRounds,
+	})
+}
+
+// NewStoreServerV2 builds a server over a store from functional options
+// (WithExecutors, WithWorkers, WithSeed / WithServerSeed): every query is
+// answered against the store's snapshot current at that query's executor
+// checkout, with the epoch pinned until the answer is extracted — a
+// concurrent Store.Swap never tears an answer or a batch.
+func NewStoreServerV2(store *Store, opts ...Option) (*Server, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewStoreServer(store, serve.ServerOptions{
 		Executors: cfg.Executors,
 		Workers:   cfg.Workers,
 		Seed:      cfg.serverSeed(),

@@ -58,6 +58,7 @@ func experiments() []experiment {
 		{"sssp", "E12", "approximate SSSP (Corollary 4.2)", expt.E12SSSP},
 		{"twoecss", "E13", "2-ECSS approximation (Corollary 4.3)", expt.E13TwoECSS},
 		{"serving", "E14", "serving layer throughput (snapshot + pooled executors)", expt.E14Serving},
+		{"dynamic", "E15", "incremental update latency vs delta size (part-local repair)", expt.E15Dynamic},
 		{"ablation-reps", "A1", "sampling repetitions ablation", expt.A1Repetitions},
 		{"ablation-sched", "A2", "random-delay ablation", expt.A2Scheduling},
 		{"ablation-det", "A4", "deterministic construction (open end)", expt.A4Deterministic},
@@ -84,6 +85,8 @@ func run(args []string, stdout io.Writer) error {
 		serveQ     = fs.Int("serve-queries", 0, "warm queries per E14 sweep point (0 = default)")
 		serveExecs = fs.String("serve-executors", "", "comma-separated executor-pool sizes for E14")
 		serveBatch = fs.String("serve-batches", "", "comma-separated batch sizes for E14")
+
+		deltaSizes = fs.String("delta", "", "comma-separated delta-size sweep for the E15 dynamic-update experiment (implies 'dynamic' when no experiment is named)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: lcsbench [flags] <experiment>")
@@ -105,9 +108,11 @@ func run(args []string, stdout io.Writer) error {
 		target = fs.Arg(0)
 	case fs.NArg() == 0 && *serveRun:
 		target = "serving"
+	case fs.NArg() == 0 && *deltaSizes != "":
+		target = "dynamic"
 	default:
 		fs.Usage()
-		return fmt.Errorf("expected exactly one experiment name (or -serve)")
+		return fmt.Errorf("expected exactly one experiment name (or -serve / -delta)")
 	}
 
 	ctx := context.Background()
@@ -141,6 +146,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if cfg.ServeBatches, err = parseInts(*serveBatch); err != nil {
 		return fmt.Errorf("-serve-batches: %w", err)
+	}
+	if cfg.DeltaSizes, err = parseInts(*deltaSizes); err != nil {
+		return fmt.Errorf("-delta: %w", err)
 	}
 
 	var selected []experiment

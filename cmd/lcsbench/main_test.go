@@ -86,6 +86,32 @@ func TestServeSweepJSON(t *testing.T) {
 	}
 }
 
+func TestDeltaSweepJSON(t *testing.T) {
+	env := runJSON(t, []string{
+		"-quick", "-json", "-dist-sizes", "300", "-delta", "1,8",
+	})
+	if len(env.Tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(env.Tables))
+	}
+	tbl := env.Tables[0]
+	if !strings.Contains(tbl.Title, "E15") {
+		t.Fatalf("unexpected table: %q", tbl.Title)
+	}
+	if len(tbl.Rows) != 2 { // one row per delta size
+		t.Fatalf("want 2 sweep rows, got %d", len(tbl.Rows))
+	}
+	if _, ok := tbl.Meta["build_ms"]; !ok {
+		t.Fatalf("missing build_ms meta: %v", tbl.Meta)
+	}
+}
+
+func TestDeltaFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-delta", "x", "dynamic"}, &out); err == nil {
+		t.Fatal("bad -delta accepted")
+	}
+}
+
 func TestTextAndCSVOutput(t *testing.T) {
 	var text bytes.Buffer
 	if err := run([]string{"-quick", "-sizes", "500", "-diameters", "4", "quality"}, &text); err != nil {

@@ -103,6 +103,38 @@ func run() error {
 		fmt.Printf("serve: 2-ECSS correctly refused: %v\n", err)
 	}
 
+	// Dynamic update: absorb an edge delta by part-local repair (the result
+	// is bit-identical to rebuilding from scratch on the mutated graph, at a
+	// fraction of the cost) and hot-swap it under live traffic through a
+	// Store. Queries pin their epoch at checkout, so the swap never tears an
+	// in-flight answer; SwapCtx returns once the old epoch has drained.
+	store := repro.NewStore(snap)
+	ssrv, err := repro.NewStoreServerV2(store, repro.WithExecutors(4))
+	if err != nil {
+		return err
+	}
+	delta := repro.Delta{Insert: []repro.DeltaEdge{
+		{U: 11, V: 4093, W: 0.01},
+		{U: 2048, V: 9999, W: 0.02},
+	}}
+	updStart := time.Now()
+	next, err := repro.ApplyDeltaCtx(ctx, store.Snapshot(), delta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("delta: repaired %d parts in %v (generation %d; cold build was %v)\n",
+		len(next.Repair().Touched), time.Since(updStart).Round(time.Millisecond),
+		next.Generation(), bc.Wall.Round(time.Millisecond))
+	if _, err := store.SwapCtx(ctx, next); err != nil {
+		return err
+	}
+	a, err := ssrv.ServeCtx(ctx, repro.MSTQuery{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swap: epoch %d live, MST weight now %.1f\n",
+		store.Epoch(), a.(*repro.MSTAnswer).Weight)
+
 	fmt.Printf("stats: %+v\n", srv.Stats())
 	return nil
 }

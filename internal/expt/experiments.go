@@ -40,6 +40,8 @@ type Config struct {
 	ServeExecutors []int
 	// ServeBatches is the batch-size sweep of E14 (nil = default).
 	ServeBatches []int
+	// DeltaSizes is the delta-size sweep of E15 (nil = default).
+	DeltaSizes []int
 	// Ctx, when non-nil, cancels the heavyweight simulated phases of an
 	// experiment cooperatively (lcsbench's -timeout flag threads it here);
 	// a canceled experiment returns a reproerr.KindCanceled/KindDeadline
@@ -106,6 +108,14 @@ func (c Config) WithDefaults() Config {
 			c.ServeBatches = []int{1, 8}
 		} else {
 			c.ServeBatches = []int{1, 8, 32}
+		}
+	}
+	c.DeltaSizes = positiveInts(c.DeltaSizes)
+	if len(c.DeltaSizes) == 0 {
+		if c.Quick {
+			c.DeltaSizes = []int{1, 16}
+		} else {
+			c.DeltaSizes = []int{1, 16, 64, 256, 1024}
 		}
 	}
 	return c

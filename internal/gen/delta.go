@@ -1,0 +1,40 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// InsertDelta draws an insert-only delta of k edges absent from g, with
+// uniform [0, 1) weights — the standard mutation workload of the dynamic
+// experiments and benchmarks (insertions cannot disconnect a part, so the
+// delta is always repairable). Deterministic given the rng. Fails rather
+// than spinning when g is too dense to yield k absent edges quickly.
+func InsertDelta(g *graph.Graph, k int, rng *rand.Rand) (graph.Delta, error) {
+	var d graph.Delta
+	n := g.NumNodes()
+	seen := make(map[[2]graph.NodeID]bool, k)
+	for tries := 0; len(d.Insert) < k; tries++ {
+		if tries > 100*k+1000 {
+			return d, fmt.Errorf("gen: could not draw %d absent edges (n=%d, m=%d)", k, n, g.NumEdges())
+		}
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]graph.NodeID{u, v}] {
+			continue
+		}
+		seen[[2]graph.NodeID{u, v}] = true
+		// 1-Float64() draws from (0, 1] — strictly positive, like
+		// NewUniformWeights, so the delta always passes weight validation.
+		d.Insert = append(d.Insert, graph.DeltaEdge{U: u, V: v, W: 1 - rng.Float64()})
+	}
+	return d, nil
+}

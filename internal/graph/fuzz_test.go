@@ -44,6 +44,166 @@ func FuzzBuilder(f *testing.F) {
 	})
 }
 
+// FuzzDelta feeds arbitrary mutation bytes through ApplyDelta and checks
+// the full CSR invariant set of whatever graph results: degree sums, arc
+// cross-references, reverse-arc involution, arc-tail occupancy, sorted
+// neighbor lists, and no dangling arcs — plus bit-identity with a
+// from-scratch Builder on the same edge set and remap consistency.
+func FuzzDelta(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0x80, 0, 1})
+	f.Add([]byte{1, 2, 1, 2, 0x81, 1, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 12
+		// Seed graph: a cycle, so there is always something to delete.
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.TryAddEdge(NodeID(i), NodeID((i+1)%n))
+		}
+		g := b.Build()
+		w := make(Weights, g.NumEdges())
+		for e := range w {
+			w[e] = float64(e + 1)
+		}
+		// Decode mutation bytes: triples (op, u, v). High bit of op selects
+		// delete. Most byte values decode mod n; the top two value bands
+		// decode to past-the-end and negative node IDs, so the fuzzer can
+		// reach the endpoint-range rejection paths (the class of crash a
+		// mod-n-only decode can never find).
+		decodeNode := func(b byte) NodeID {
+			switch {
+			case b >= 0xF8:
+				return NodeID(n) + NodeID(b&7) // out of range high
+			case b >= 0xF0:
+				return -NodeID(b&7) - 1 // negative
+			default:
+				return NodeID(b % n)
+			}
+		}
+		var d Delta
+		for i := 0; i+2 < len(data); i += 3 {
+			u := decodeNode(data[i+1])
+			v := decodeNode(data[i+2])
+			if data[i]&0x80 != 0 {
+				d.Delete = append(d.Delete, [2]NodeID{u, v})
+			} else {
+				d.Insert = append(d.Insert, DeltaEdge{U: u, V: v, W: float64(data[i]) + 0.5})
+			}
+		}
+		g2, w2, rm, err := ApplyDelta(g, w, d)
+		if err != nil {
+			return // rejection is fine; panics and broken invariants are not
+		}
+		checkCSRInvariants(t, g2)
+		if len(w2) != g2.NumEdges() {
+			t.Fatalf("weights out of sync: %d for %d edges", len(w2), g2.NumEdges())
+		}
+		// Remap consistency: no surviving edge dangles.
+		for e := 0; e < g.NumEdges(); e++ {
+			ne := rm.OldToNew[e]
+			if ne < 0 {
+				continue
+			}
+			if int(ne) >= g2.NumEdges() {
+				t.Fatalf("remap %d -> %d out of range", e, ne)
+			}
+			u, v := g.EdgeEndpoints(EdgeID(e))
+			nu, nv := g2.EdgeEndpoints(ne)
+			if u != nu || v != nv {
+				t.Fatalf("remap %d -> %d changed endpoints {%d,%d} -> {%d,%d}", e, ne, u, v, nu, nv)
+			}
+		}
+		// Bit-identity with a from-scratch build of the same edge set.
+		b2 := NewBuilder(n)
+		for e := 0; e < g2.NumEdges(); e++ {
+			u, v := g2.EdgeEndpoints(EdgeID(e))
+			if err := b2.AddEdge(u, v); err != nil {
+				t.Fatalf("accepted delta produced bad edge set: %v", err)
+			}
+		}
+		want := b2.Build()
+		if !graphEqual(g2, want) {
+			t.Fatal("incremental CSR differs from from-scratch build")
+		}
+	})
+}
+
+func graphEqual(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for i := range a.offsets {
+		if a.offsets[i] != b.offsets[i] {
+			return false
+		}
+	}
+	for i := range a.neighbors {
+		if a.neighbors[i] != b.neighbors[i] || a.arcEdge[i] != b.arcEdge[i] ||
+			a.arcRev[i] != b.arcRev[i] || a.arcTail[i] != b.arcTail[i] {
+			return false
+		}
+	}
+	for i := range a.edgeU {
+		if a.edgeU[i] != b.edgeU[i] || a.edgeV[i] != b.edgeV[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCSRInvariants asserts the structural invariants every Graph must
+// satisfy: monotone offsets, sorted neighbor lists, reverse-arc involution,
+// consistent arc tails/edges, and degree sum = 2m.
+func checkCSRInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	n := g.NumNodes()
+	sum := 0
+	for u := 0; u < n; u++ {
+		sum += g.Degree(NodeID(u))
+	}
+	if sum != 2*g.NumEdges() {
+		t.Fatalf("degree sum %d != 2m %d", sum, 2*g.NumEdges())
+	}
+	for u := NodeID(0); int(u) < n; u++ {
+		lo, hi := g.ArcRange(u)
+		if lo > hi {
+			t.Fatalf("node %d: inverted arc range [%d,%d)", u, lo, hi)
+		}
+		for a := lo; a < hi; a++ {
+			v := g.ArcTarget(a)
+			if a > lo && g.ArcTarget(a-1) >= v {
+				t.Fatalf("node %d: neighbors not strictly sorted at arc %d", u, a)
+			}
+			if g.ArcTail(a) != u {
+				t.Fatalf("arc %d: tail %d, want %d", a, g.ArcTail(a), u)
+			}
+			r := g.ArcReverse(a)
+			if r < 0 || int(r) >= g.NumArcs() {
+				t.Fatalf("arc %d: dangling reverse %d", a, r)
+			}
+			if g.ArcReverse(r) != a {
+				t.Fatalf("arc %d: reverse not involutive (%d -> %d)", a, r, g.ArcReverse(r))
+			}
+			if g.ArcTail(r) != v || g.ArcTarget(r) != u {
+				t.Fatalf("arc %d: reverse %d connects {%d,%d}, want {%d,%d}", a, r, g.ArcTail(r), g.ArcTarget(r), v, u)
+			}
+			if g.ArcEdge(r) != g.ArcEdge(a) {
+				t.Fatalf("arc %d: reverse on different edge", a)
+			}
+			eu, ev := g.EdgeEndpoints(g.ArcEdge(a))
+			if !((eu == u && ev == v) || (eu == v && ev == u)) {
+				t.Fatalf("arc %d: edge cross-reference broken", a)
+			}
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.EdgeEndpoints(EdgeID(e))
+		if u >= v {
+			t.Fatalf("edge %d: endpoints not ordered ({%d,%d})", e, u, v)
+		}
+	}
+}
+
 // FuzzBitset cross-checks Bitset against a map model under arbitrary
 // operation sequences.
 func FuzzBitset(f *testing.F) {

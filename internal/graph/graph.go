@@ -212,9 +212,20 @@ func (b *Builder) Build() *Graph {
 		}
 		return b.edges[i][1] < b.edges[j][1]
 	})
-	m := len(b.edges)
+	g := fromSortedEdges(b.n, b.edges)
+	b.seen = nil
+	b.edges = nil
+	return g
+}
+
+// fromSortedEdges assembles the CSR arrays from an edge list already in
+// canonical sorted (u, v) order with u < v per edge. It is the single
+// construction path shared by Builder.Build and ApplyDelta, so a graph built
+// incrementally is bit-identical to the same edge set built from scratch.
+func fromSortedEdges(n int, edges [][2]NodeID) *Graph {
+	m := len(edges)
 	g := &Graph{
-		offsets:   make([]int32, b.n+1),
+		offsets:   make([]int32, n+1),
 		neighbors: make([]NodeID, 2*m),
 		arcEdge:   make([]EdgeID, 2*m),
 		arcRev:    make([]int32, 2*m),
@@ -222,19 +233,19 @@ func (b *Builder) Build() *Graph {
 		edgeU:     make([]NodeID, m),
 		edgeV:     make([]NodeID, m),
 	}
-	deg := make([]int32, b.n)
-	for e, uv := range b.edges {
+	deg := make([]int32, n)
+	for e, uv := range edges {
 		g.edgeU[e] = uv[0]
 		g.edgeV[e] = uv[1]
 		deg[uv[0]]++
 		deg[uv[1]]++
 	}
-	for u := 0; u < b.n; u++ {
+	for u := 0; u < n; u++ {
 		g.offsets[u+1] = g.offsets[u] + deg[u]
 	}
-	cursor := make([]int32, b.n)
-	copy(cursor, g.offsets[:b.n])
-	for e, uv := range b.edges {
+	cursor := make([]int32, n)
+	copy(cursor, g.offsets[:n])
+	for e, uv := range edges {
 		u, v := uv[0], uv[1]
 		au, av := cursor[u], cursor[v]
 		g.neighbors[au] = v
@@ -248,8 +259,6 @@ func (b *Builder) Build() *Graph {
 		cursor[u]++
 		cursor[v]++
 	}
-	b.seen = nil
-	b.edges = nil
 	return g
 }
 

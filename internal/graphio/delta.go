@@ -1,0 +1,151 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Delta serialization: the dynamic-graph companion to the instance format.
+// A delta block lists edge deletions and insertions against some base graph
+// so that update streams can be exchanged, replayed, and checked in as
+// regression fixtures.
+//
+// Format (whitespace-separated, '#' comments):
+//
+//	delta <nd> <ni>
+//	- <u> <v>                 # nd deletion lines
+//	+ <u> <v> [weight]        # ni insertion lines
+//
+// Insert weights are optional but must be all-present or all-absent, like
+// edge weights in the instance format.
+
+// WriteDelta serializes d. weighted selects whether insert lines carry
+// weights (a delta for an unweighted graph writes none).
+func WriteDelta(out io.Writer, d graph.Delta, weighted bool) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "delta %d %d\n", len(d.Delete), len(d.Insert))
+	for _, uv := range d.Delete {
+		fmt.Fprintf(bw, "- %d %d\n", uv[0], uv[1])
+	}
+	for _, e := range d.Insert {
+		if weighted {
+			fmt.Fprintf(bw, "+ %d %d %g\n", e.U, e.V, e.W)
+		} else {
+			fmt.Fprintf(bw, "+ %d %d\n", e.U, e.V)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDelta parses a delta block written by WriteDelta. The second return
+// reports whether insert lines carried weights.
+func ReadDelta(in io.Reader) (graph.Delta, bool, error) {
+	var (
+		d          graph.Delta
+		sawHeader  bool
+		wantDel    int
+		wantIns    int
+		haveWeight bool
+		sawIns     int
+		lineNo     int
+	)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "delta":
+			if sawHeader {
+				return d, false, fmt.Errorf("graphio: line %d: duplicate delta header", lineNo)
+			}
+			if len(fields) != 3 {
+				return d, false, fmt.Errorf("graphio: line %d: want 'delta nd ni'", lineNo)
+			}
+			var err error
+			if wantDel, err = strconv.Atoi(fields[1]); err != nil {
+				return d, false, fmt.Errorf("graphio: line %d: nd: %w", lineNo, err)
+			}
+			if wantIns, err = strconv.Atoi(fields[2]); err != nil {
+				return d, false, fmt.Errorf("graphio: line %d: ni: %w", lineNo, err)
+			}
+			sawHeader = true
+		case "-":
+			if !sawHeader {
+				return d, false, fmt.Errorf("graphio: line %d: deletion before delta header", lineNo)
+			}
+			if len(fields) != 3 {
+				return d, false, fmt.Errorf("graphio: line %d: want '- u v'", lineNo)
+			}
+			u, v, err := parseEndpoints(fields[1], fields[2], lineNo)
+			if err != nil {
+				return d, false, err
+			}
+			d.Delete = append(d.Delete, [2]graph.NodeID{u, v})
+		case "+":
+			if !sawHeader {
+				return d, false, fmt.Errorf("graphio: line %d: insertion before delta header", lineNo)
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return d, false, fmt.Errorf("graphio: line %d: want '+ u v [w]'", lineNo)
+			}
+			u, v, err := parseEndpoints(fields[1], fields[2], lineNo)
+			if err != nil {
+				return d, false, err
+			}
+			e := graph.DeltaEdge{U: u, V: v}
+			if len(fields) == 4 {
+				if !haveWeight && sawIns > 0 {
+					return d, false, fmt.Errorf("graphio: line %d: unexpected weight (delta mixes weighted and unweighted inserts)", lineNo)
+				}
+				if e.W, err = strconv.ParseFloat(fields[3], 64); err != nil {
+					return d, false, fmt.Errorf("graphio: line %d: weight: %w", lineNo, err)
+				}
+				if e.W != e.W { // NaN never equals itself: reject it here
+					return d, false, fmt.Errorf("graphio: line %d: weight is NaN", lineNo)
+				}
+				haveWeight = true
+			} else if haveWeight {
+				return d, false, fmt.Errorf("graphio: line %d: missing weight (delta mixes weighted and unweighted inserts)", lineNo)
+			}
+			sawIns++
+			d.Insert = append(d.Insert, e)
+		default:
+			return d, false, fmt.Errorf("graphio: line %d: unknown directive %q in delta", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return d, false, fmt.Errorf("graphio: %w", err)
+	}
+	if !sawHeader {
+		return d, false, fmt.Errorf("graphio: no delta header")
+	}
+	if len(d.Delete) != wantDel {
+		return d, false, fmt.Errorf("graphio: header promised %d deletions, file has %d", wantDel, len(d.Delete))
+	}
+	if len(d.Insert) != wantIns {
+		return d, false, fmt.Errorf("graphio: header promised %d insertions, file has %d", wantIns, len(d.Insert))
+	}
+	return d, haveWeight, nil
+}
+
+func parseEndpoints(fu, fv string, lineNo int) (graph.NodeID, graph.NodeID, error) {
+	u, err := strconv.Atoi(fu)
+	if err != nil {
+		return 0, 0, fmt.Errorf("graphio: line %d: u: %w", lineNo, err)
+	}
+	v, err := strconv.Atoi(fv)
+	if err != nil {
+		return 0, 0, fmt.Errorf("graphio: line %d: v: %w", lineNo, err)
+	}
+	return graph.NodeID(u), graph.NodeID(v), nil
+}

@@ -19,12 +19,16 @@ import (
 // input; every answer is identical to what Serve would return for the same
 // query (batched SSSP answers differ only in their Rounds/Messages
 // accounting, which reflects the shared execution).
+//
+// The whole batch runs on one checked-out executor with one pinned
+// snapshot: against a store-backed server, a concurrent epoch swap never
+// splits a batch across snapshots.
 func (s *Server) ServeBatch(queries []Query) ([]Answer, error) {
 	return s.ServeBatchCtx(nil, queries)
 }
 
 // ServeBatchCtx is ServeBatch with cooperative cancellation: the context
-// gates every executor checkout and is threaded into the batch's shared
+// gates the executor checkout and is threaded into the batch's shared
 // scheduler execution, which checks it once per drain round — a canceled
 // batch aborts within one round, returns a reproerr.KindCanceled/
 // KindDeadline error wrapping ctx.Err(), and leaves the executor pool fully
@@ -34,12 +38,20 @@ func (s *Server) ServeBatchCtx(ctx context.Context, queries []Query) ([]Answer, 
 
 	var ssspIdx []int
 	for i, q := range queries {
+		if q == nil {
+			return nil, reproerr.Invalid("serve", "batch query %d: nil query", i)
+		}
 		if _, ok := q.(SSSPQuery); ok {
 			ssspIdx = append(ssspIdx, i)
 		}
 	}
+	l, err := s.checkoutCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(l)
 	if len(ssspIdx) > 1 {
-		if err := s.serveSSSPGroup(ctx, queries, ssspIdx, answers); err != nil {
+		if err := s.serveSSSPGroup(ctx, l, queries, ssspIdx, answers); err != nil {
 			return nil, fmt.Errorf("serve: batched sssp: %w", err)
 		}
 	}
@@ -47,7 +59,7 @@ func (s *Server) ServeBatchCtx(ctx context.Context, queries []Query) ([]Answer, 
 		if answers[i] != nil {
 			continue
 		}
-		a, err := s.serveOne(ctx, q)
+		a, err := s.serveOn(ctx, l, q)
 		if err != nil {
 			return nil, fmt.Errorf("serve: batch query %d (%v): %w", i, kindOf(q), err)
 		}
@@ -70,10 +82,12 @@ func kindOf(q Query) any {
 }
 
 // serveSSSPGroup runs every SSSP query of the batch as one task of a single
-// scheduled parallel-BFS execution restricted to the snapshot's tree edges,
-// then extracts each task's weighted distances from the shared forest.
-func (s *Server) serveSSSPGroup(ctx context.Context, queries []Query, idx []int, answers []Answer) error {
-	sn := s.snap
+// scheduled parallel-BFS execution restricted to the pinned snapshot's tree
+// edges, then extracts each task's weighted distances from the shared
+// forest.
+func (s *Server) serveSSSPGroup(ctx context.Context, l lease, queries []Query, idx []int, answers []Answer) error {
+	sn := l.sn
+	ex := l.ex
 	n := sn.g.NumNodes()
 	ts := sn.treeSet
 	allowed := func(_ int32, _, _ graph.NodeID, e graph.EdgeID) bool { return ts.Has(e) }
@@ -87,11 +101,6 @@ func (s *Server) serveSSSPGroup(ctx context.Context, queries []Query, idx []int,
 		tasks[t] = sched.BFSTask{Root: src, Allowed: allowed, DepthLimit: -1}
 	}
 
-	ex, err := s.checkoutCtx(ctx)
-	if err != nil {
-		return err
-	}
-	defer s.release(ex)
 	stats, err := ex.runner.ParallelBFSInto(&ex.forest, sn.g, tasks, sched.Options{
 		MaxDelay: len(tasks),
 		Rng:      s.queryRng(KindSSSP, int64(len(tasks))),

@@ -157,6 +157,89 @@ func BenchmarkAmortization100k(b *testing.B) {
 	})
 }
 
+// deltaOfSize builds an insert-only delta of k edges absent from g.
+func deltaOfSize(b *testing.B, g *graph.Graph, k int, seed int64) graph.Delta {
+	b.Helper()
+	d, err := gen.InsertDelta(g, k, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkApplyDelta is the dynamic-graphs acceptance measurement on
+// ClusterChain n=1e5: a 64-edge delta absorbed by part-local repair versus
+// the from-scratch snapshot rebuild it replaces (run explicitly with
+// -benchtime=1x; the rebuild arm simulates the full distributed
+// construction, ~24 s/op). Recorded run (-benchtime=1x): repair 0.259 s/op
+// vs rebuild 23.88 s/op — 92× faster, with update latency dominated by the
+// touched-part work, not n.
+func BenchmarkApplyDelta(b *testing.B) {
+	fx := getBenchFixture(b, 100_000)
+	b.Run("repair-64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := deltaOfSize(b, fx.snap.Graph(), 64, int64(i+1))
+			b.StartTimer()
+			if _, err := serve.ApplyDelta(context.Background(), fx.snap, d, serve.DeltaOptions{Workers: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		d := deltaOfSize(b, fx.snap.Graph(), 64, 1)
+		g2, w2, _, err := graph.ApplyDelta(fx.snap.Graph(), fx.snap.Weights(), d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parts, err := gen.VoronoiParts(fx.g, 64, rand.New(rand.NewSource(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := serve.NewSnapshot(g2, w2, parts, serve.SnapshotOptions{
+				Rng: rand.New(rand.NewSource(int64(i + 1))), Diameter: 6, LogFactor: 0.3, Workers: -1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeSSSPWarmIntoSwap is the warm allocation-free path on a
+// store-backed server measured after an epoch hot-swap: checkout now also
+// pins the epoch (two atomics), and the executor pool carries over from the
+// pre-swap snapshot — CI's benchmark smoke asserts this path stays at
+// 0 allocs/op, so swapping snapshots can never reintroduce steady-state
+// allocation.
+func BenchmarkServeSSSPWarmIntoSwap(b *testing.B) {
+	fx := getBenchFixture(b, 10_000)
+	next, err := serve.ApplyDelta(context.Background(), fx.snap, deltaOfSize(b, fx.g, 4, 9), serve.DeltaOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := serve.NewStore(fx.snap)
+	srv := serve.NewStoreServer(store, serve.ServerOptions{Executors: 1})
+	dst := make([]float64, fx.g.NumNodes())
+	if dst, err = srv.ServeSSSPInto(dst, 0); err != nil { // warm the executor on epoch 1
+		b.Fatal(err)
+	}
+	if _, err := store.SwapCtx(context.Background(), next); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = srv.ServeSSSPInto(dst, graph.NodeID(i%fx.g.NumNodes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServeSSSPWarmIntoCtx is the warm path through the context-first
 // v2 method with a live cancellable context: CI's benchmark smoke asserts
 // it stays at 0 allocs/op and within noise of the context-free path (the

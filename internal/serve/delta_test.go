@@ -1,0 +1,37 @@
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// TestApplyDeltaRejectsBadInput pins that malformed deltas — including
+// endpoints outside the vertex universe, which must be caught before any
+// part-table indexing — fail with an error, never a panic.
+func TestApplyDeltaRejectsBadInput(t *testing.T) {
+	fx := makeFixture(t, 200, 9)
+	n := graph.NodeID(fx.g.NumNodes())
+	cases := []struct {
+		name string
+		d    graph.Delta
+	}{
+		{"empty", graph.Delta{}},
+		{"insert endpoint past n", graph.Delta{Insert: []graph.DeltaEdge{{U: n, V: 1}}}},
+		{"insert negative endpoint", graph.Delta{Insert: []graph.DeltaEdge{{U: -1, V: 1}}}},
+		{"delete endpoint past n", graph.Delta{Delete: [][2]graph.NodeID{{n, 1}}}},
+		{"delete negative endpoint", graph.Delta{Delete: [][2]graph.NodeID{{0, -3}}}},
+		{"delete missing edge", graph.Delta{Delete: [][2]graph.NodeID{{0, 0}}}},
+		{"insert self-loop", graph.Delta{Insert: []graph.DeltaEdge{{U: 2, V: 2}}}},
+	}
+	for _, tc := range cases {
+		if _, err := serve.ApplyDelta(context.Background(), fx.snap, tc.d, serve.DeltaOptions{}); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	if _, err := serve.ApplyDelta(context.Background(), nil, graph.Delta{Insert: []graph.DeltaEdge{{U: 0, V: 1}}}, serve.DeltaOptions{}); err == nil {
+		t.Error("nil snapshot: no error")
+	}
+}

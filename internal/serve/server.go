@@ -29,12 +29,22 @@ type ServerOptions struct {
 	Seed int64
 }
 
-// Server answers typed queries against one immutable Snapshot from a pool of
-// reusable executor contexts. All methods are safe for concurrent use.
+// Server answers typed queries from a pool of reusable executor contexts,
+// against either one fixed immutable Snapshot (NewServer) or whatever a
+// Store currently serves (NewStoreServer). All methods are safe for
+// concurrent use.
+//
+// The snapshot is resolved per query, at executor checkout — never captured
+// in the executor or at pool construction. That rule is what makes hot
+// swaps safe: an executor is pure scratch space, so a stale executor cannot
+// answer against a retired epoch, and one query always sees exactly one
+// snapshot from checkout to release (no torn answers across a concurrent
+// swap).
 type Server struct {
-	snap *Snapshot
-	opts ServerOptions
-	pool chan *executor
+	snap  *Snapshot // fixed-snapshot mode; nil when store-backed
+	store *Store    // hot-swap mode; nil when fixed
+	opts  ServerOptions
+	pool  chan *executor
 
 	served  [numKinds]atomic.Int64
 	batches atomic.Int64
@@ -44,7 +54,9 @@ type Server struct {
 // executor is one pooled context: every buffer a query needs, owned
 // exclusively while checked out (see DESIGN.md ownership rules). The runner
 // and forest amortize scheduler state across the batched executions this
-// executor serves — PR 2's Runner-reuse extended across queries.
+// executor serves — PR 2's Runner-reuse extended across queries. Executors
+// hold no snapshot state: buffers grow to whatever graph the pinned
+// snapshot has, so the pool survives any number of epoch swaps.
 type executor struct {
 	treeScratch sssp.TreeScratch // warm SSSP walk buffers
 	runner      sched.Runner     // batched scheduled executions
@@ -53,8 +65,34 @@ type executor struct {
 	hopCount    []int32
 }
 
-// NewServer builds a server over the snapshot.
+// lease is one checked-out execution context: the executor plus the
+// snapshot pinned for the duration of exactly one query or batch. ep is
+// non-nil only in store mode, where it holds the epoch reference that
+// delays the snapshot's retirement drain until release.
+type lease struct {
+	ex *executor
+	sn *Snapshot
+	ep *epoch
+}
+
+// NewServer builds a server over one fixed snapshot.
 func NewServer(snap *Snapshot, opts ServerOptions) *Server {
+	s := newServer(opts)
+	s.snap = snap
+	return s
+}
+
+// NewStoreServer builds a server that answers every query against the
+// store's snapshot current at that query's checkout. The executor pool is
+// independent of the store's swap cadence: the same pool serves epoch after
+// epoch.
+func NewStoreServer(store *Store, opts ServerOptions) *Server {
+	s := newServer(opts)
+	s.store = store
+	return s
+}
+
+func newServer(opts ServerOptions) *Server {
 	if opts.Executors <= 0 {
 		opts.Executors = runtime.GOMAXPROCS(0)
 	}
@@ -62,7 +100,6 @@ func NewServer(snap *Snapshot, opts ServerOptions) *Server {
 		opts.Seed = 1
 	}
 	s := &Server{
-		snap: snap,
 		opts: opts,
 		pool: make(chan *executor, opts.Executors),
 	}
@@ -72,35 +109,63 @@ func NewServer(snap *Snapshot, opts ServerOptions) *Server {
 	return s
 }
 
-// Snapshot returns the served snapshot.
-func (s *Server) Snapshot() *Snapshot { return s.snap }
+// Snapshot returns the snapshot queries are currently answered against: the
+// fixed one, or the store's active snapshot at the time of the call.
+func (s *Server) Snapshot() *Snapshot {
+	if s.store != nil {
+		return s.store.Snapshot()
+	}
+	return s.snap
+}
 
-func (s *Server) checkout() *executor  { return <-s.pool }
-func (s *Server) release(ex *executor) { s.pool <- ex }
+// Store returns the backing store, or nil for a fixed-snapshot server.
+func (s *Server) Store() *Store { return s.store }
 
-// checkoutCtx waits for a free executor or for the context: a canceled
-// caller stops occupying the pool queue, and the pool stays fully usable for
-// the next query (cancellation never loses an executor — only a checked-out
-// executor is ever released, and release is unconditional on every serve
-// path). A nil/Background ctx takes the fast path.
-func (s *Server) checkoutCtx(ctx context.Context) (*executor, error) {
+// resolve pins the snapshot this lease will serve. In store mode the pin
+// holds the epoch open until release; in fixed mode it is free.
+func (s *Server) resolve() (sn *Snapshot, ep *epoch) {
+	if s.store != nil {
+		ep = s.store.pin()
+		return ep.snap, ep
+	}
+	return s.snap, nil
+}
+
+func (s *Server) release(l lease) {
+	if l.ep != nil {
+		l.ep.unpin()
+	}
+	s.pool <- l.ex
+}
+
+// checkoutCtx waits for a free executor or for the context, then pins the
+// current snapshot: a canceled caller stops occupying the pool queue, and
+// the pool stays fully usable for the next query (cancellation never loses
+// an executor — only a checked-out executor is ever released, and release
+// is unconditional on every serve path). The epoch pin happens after the
+// executor is obtained, so a caller blocked on a busy pool never holds an
+// old epoch open. A nil/Background ctx takes the fast path.
+func (s *Server) checkoutCtx(ctx context.Context) (lease, error) {
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
 	}
 	if done == nil {
-		return <-s.pool, nil
+		ex := <-s.pool
+		sn, ep := s.resolve()
+		return lease{ex: ex, sn: sn, ep: ep}, nil
 	}
 	select { // already canceled: fail before consuming pool capacity
 	case <-done:
-		return nil, reproerr.FromContext("serve", ctx.Err())
+		return lease{}, reproerr.FromContext("serve", ctx.Err())
 	default:
 	}
 	select {
 	case ex := <-s.pool:
-		return ex, nil
+		sn, ep := s.resolve()
+		return lease{ex: ex, sn: sn, ep: ep}, nil
 	case <-done:
-		return nil, reproerr.FromContext("serve", ctx.Err())
+		return lease{}, reproerr.FromContext("serve", ctx.Err())
 	}
 }
 
@@ -131,99 +196,85 @@ func (s *Server) ServeCtx(ctx context.Context, q Query) (Answer, error) {
 	return a, nil
 }
 
-// serveOne executes one query on a checked-out executor without touching
-// the serving counters (Serve and ServeBatch count delivered answers).
+// serveOne checks out a lease, executes one query on it, and releases it,
+// without touching the serving counters (Serve and ServeBatch count
+// delivered answers).
 func (s *Server) serveOne(ctx context.Context, q Query) (Answer, error) {
+	if q == nil {
+		return nil, reproerr.Invalid("serve", "nil query")
+	}
+	l, err := s.checkoutCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(l)
+	return s.serveOn(ctx, l, q)
+}
+
+// serveOn executes one query against the lease's pinned snapshot. Every
+// read of serving state goes through l.sn — never through the server's
+// construction-time fields — so the answer is internally consistent even if
+// the store swaps mid-query.
+func (s *Server) serveOn(ctx context.Context, l lease, q Query) (Answer, error) {
+	sn := l.sn
 	switch q := q.(type) {
 	case SSSPQuery:
-		out := make([]float64, s.snap.g.NumNodes())
-		return s.ssspInto(ctx, out, q.Source)
+		out := make([]float64, sn.g.NumNodes())
+		dist, err := sn.ti.DistancesInto(out, q.Source, &l.ex.treeScratch)
+		if err != nil {
+			return nil, err
+		}
+		return &SSSPAnswer{
+			Source: q.Source,
+			Dist:   dist,
+			Cost:   cost.Cost{Rounds: sn.servRounds, Messages: sn.servMessages},
+		}, nil
 	case MSTQuery:
-		ex, err := s.checkoutCtx(ctx)
-		if err != nil {
-			return nil, err
-		}
-		defer s.release(ex)
-		return s.snap.serveMST(), nil
+		return sn.serveMST(), nil
 	case MinCutQuery:
-		ex, err := s.checkoutCtx(ctx)
-		if err != nil {
-			return nil, err
-		}
-		defer s.release(ex)
-		trees := minCutTrees(s.snap.g.NumNodes(), q.Eps)
-		return s.snap.serveMinCut(ctx, trees, s.queryRng(KindMinCut, int64(trees)))
+		trees := minCutTrees(sn.g.NumNodes(), q.Eps)
+		return sn.serveMinCut(ctx, trees, s.queryRng(KindMinCut, int64(trees)))
 	case TwoECSSQuery:
-		ex, err := s.checkoutCtx(ctx)
-		if err != nil {
-			return nil, err
-		}
-		defer s.release(ex)
-		return s.snap.serveTwoECSS(ctx)
+		return sn.serveTwoECSS(ctx)
 	case QualityQuery:
-		ex, err := s.checkoutCtx(ctx)
-		if err != nil {
-			return nil, err
-		}
-		defer s.release(ex)
-		return s.snap.serveQuality(q)
-	case nil:
-		return nil, reproerr.Invalid("serve", "nil query")
+		return sn.serveQuality(q)
 	default:
 		return nil, reproerr.Invalid("serve", "unknown query type %T", q)
 	}
 }
 
-// ServeSSSP answers one warm SSSP query: a weighted walk over the
+// ServeSSSP answers one warm SSSP query: a weighted walk over the pinned
 // snapshot's prebuilt tree index using executor-local scratch, with a fresh
 // output slice.
 func (s *Server) ServeSSSP(src graph.NodeID) (*SSSPAnswer, error) {
-	out := make([]float64, s.snap.g.NumNodes())
-	a, err := s.ssspInto(nil, out, src)
+	a, err := s.serveOne(nil, SSSPQuery{Source: src})
 	if err != nil {
 		return nil, err
 	}
 	s.served[KindSSSP].Add(1)
-	return a, nil
-}
-
-// ssspInto runs the warm walk into dst and wraps it as an answer.
-func (s *Server) ssspInto(ctx context.Context, dst []float64, src graph.NodeID) (*SSSPAnswer, error) {
-	ex, err := s.checkoutCtx(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer s.release(ex)
-	out, err := s.snap.ti.DistancesInto(dst, src, &ex.treeScratch)
-	if err != nil {
-		return nil, err
-	}
-	return &SSSPAnswer{
-		Source: src,
-		Dist:   out,
-		Cost:   cost.Cost{Rounds: s.snap.servRounds, Messages: s.snap.servMessages},
-	}, nil
+	return a.(*SSSPAnswer), nil
 }
 
 // ServeSSSPInto is the allocation-free warm path: distances are written into
 // dst (grown to NumNodes, reusing capacity) and returned. With sufficient
 // dst capacity and a warm executor the query allocates nothing — the
-// property CI's benchmark smoke asserts.
+// property CI's benchmark smoke asserts, including across epoch swaps.
 func (s *Server) ServeSSSPInto(dst []float64, src graph.NodeID) ([]float64, error) {
 	return s.ServeSSSPIntoCtx(nil, dst, src)
 }
 
 // ServeSSSPIntoCtx is ServeSSSPInto with cooperative cancellation gating the
-// executor checkout. The context check is one poll of a prefetched channel:
-// the warm path stays allocation-free and regression-free (CI's benchmark
-// smoke asserts 0 allocs/op on exactly this path).
+// executor checkout. The context check is one poll of a prefetched channel
+// and the epoch pin two atomic operations: the warm path stays
+// allocation-free and regression-free (CI's benchmark smoke asserts
+// 0 allocs/op on exactly this path).
 func (s *Server) ServeSSSPIntoCtx(ctx context.Context, dst []float64, src graph.NodeID) ([]float64, error) {
-	ex, err := s.checkoutCtx(ctx)
+	l, err := s.checkoutCtx(ctx)
 	if err != nil {
 		return dst, err
 	}
-	defer s.release(ex)
-	out, err := s.snap.ti.DistancesInto(dst, src, &ex.treeScratch)
+	defer s.release(l)
+	out, err := l.sn.ti.DistancesInto(dst, src, &l.ex.treeScratch)
 	if err != nil {
 		return out, err
 	}

@@ -66,13 +66,20 @@ type SnapshotOptions struct {
 // Snapshot is the immutable serving state: everything the query family needs,
 // built once. After NewSnapshot returns, no method mutates the snapshot — it
 // is safe for unlimited concurrent readers (see DESIGN.md for the argument).
+//
+// Snapshots form chains under graph deltas: ApplyDelta derives a new
+// Snapshot from an old one by part-local repair (bit-identical to a
+// from-scratch rebuild on the post-delta graph), with Generation counting
+// the chain position. The old snapshot remains valid and immutable — a
+// Store swaps between them under live traffic.
 type Snapshot struct {
 	g *graph.Graph
 	w graph.Weights
 	p *shortcut.Partition
 	s *shortcut.Shortcuts
 
-	quality shortcut.Quality // measured once at build
+	quality shortcut.Quality   // measured once at build
+	partDil []shortcut.Quality // per-part dilation (congestion zero), for part-local repair
 
 	tree       []graph.EdgeID // the shortcut-MST, derived once
 	treeWeight float64
@@ -83,6 +90,14 @@ type Snapshot struct {
 	logFactor      float64
 	dilationCutoff int
 
+	// samplingSeed keys the per-arc shortcut sampling streams
+	// (shortcut.BuildSeeded); generation counts delta applications since
+	// the from-scratch build; repair describes the delta that produced this
+	// snapshot (nil for generation 0).
+	samplingSeed uint64
+	generation   uint64
+	repair       *RepairInfo
+
 	// Build cost (paid once) and per-query marginal cost (charged per warm
 	// SSSP answer).
 	buildCost    cost.Cost
@@ -90,6 +105,19 @@ type Snapshot struct {
 	qualitySum   int
 	servRounds   int
 	servMessages int64
+}
+
+// RepairInfo describes the incremental update that produced a repaired
+// snapshot.
+type RepairInfo struct {
+	// Touched lists the parts whose shortcut subgraphs were re-sampled and
+	// re-verified (ascending).
+	Touched []int
+	// Inserted and Deleted count the delta's edge mutations.
+	Inserted, Deleted int
+	// Rechecked counts the parts whose connectivity an edge deletion forced
+	// us to revalidate.
+	Rechecked int
 }
 
 // NewSnapshot builds the serving state for graph g with weights w and the
@@ -127,13 +155,19 @@ func NewSnapshot(g *graph.Graph, w graph.Weights, parts [][]graph.NodeID, opts S
 	if err != nil {
 		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "%w", err)
 	}
-	s, err := shortcut.Build(g, p, shortcut.Options{
-		Diameter: d, LogFactor: opts.LogFactor, Rng: opts.Rng, Ctx: opts.Ctx,
-	})
+	// The sampling seed is the build's first draw: the whole shortcut
+	// assignment becomes a pure per-edge function of (graph, partition,
+	// seed), which is what lets ApplyDelta repair it part-locally and still
+	// agree bit-for-bit with a from-scratch rebuild (see DESIGN.md "Dynamic
+	// snapshots").
+	samplingSeed := opts.Rng.Uint64()
+	s, err := shortcut.BuildSeeded(g, p, shortcut.Options{
+		Diameter: d, LogFactor: opts.LogFactor, Ctx: opts.Ctx,
+	}, samplingSeed)
 	if err != nil {
 		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "shortcuts: %w", err)
 	}
-	quality, err := s.DilationCtx(opts.Ctx, cutoff)
+	partDil, quality, err := measureQuality(opts.Ctx, s, cutoff)
 	if err != nil {
 		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "quality: %w", err)
 	}
@@ -167,6 +201,7 @@ func NewSnapshot(g *graph.Graph, w graph.Weights, parts [][]graph.NodeID, opts S
 		p:              p,
 		s:              s,
 		quality:        quality,
+		partDil:        partDil,
 		tree:           mres.Tree,
 		treeWeight:     mres.Weight,
 		treeSet:        treeSet,
@@ -174,12 +209,27 @@ func NewSnapshot(g *graph.Graph, w graph.Weights, parts [][]graph.NodeID, opts S
 		diameter:       d,
 		logFactor:      opts.LogFactor,
 		dilationCutoff: cutoff,
+		samplingSeed:   samplingSeed,
 		buildCost:      buildCost,
 		phases:         mres.Phases,
 		qualitySum:     mres.QualitySum,
 		servRounds:     servRounds,
 		servMessages:   servMessages,
 	}, nil
+}
+
+// measureQuality computes every part's dilation (cancelable between parts —
+// the per-part BFS sweep is the expensive unit) plus the assignment's
+// congestion, returning both the per-part record the repair path reuses and
+// the aggregated Quality. Measurement and fold live in internal/shortcut
+// (PartDilations / AggregateQuality), shared with DilationCtx, so there is
+// exactly one definition of "quality" for builds, rebuilds, and repairs.
+func measureQuality(ctx context.Context, s *shortcut.Shortcuts, cutoff int) ([]shortcut.Quality, shortcut.Quality, error) {
+	partDil, err := s.PartDilations(ctx, cutoff)
+	if err != nil {
+		return nil, shortcut.Quality{}, err
+	}
+	return partDil, shortcut.AggregateQuality(partDil, s.Congestion()), nil
 }
 
 // Graph returns the underlying graph.
@@ -217,5 +267,19 @@ func (sn *Snapshot) Phases() int { return sn.phases }
 // Cost returns the unified v2 accounting of the snapshot build: the
 // shortcut-MST's simulated rounds/messages and scheduler stats, plus the
 // wall-clock time of the whole build (partition validation through tree
-// indexing).
+// indexing). For a repaired snapshot (Generation > 0) this is the cost of
+// the repair — the quantity the dynamic path exists to shrink.
 func (sn *Snapshot) Cost() cost.Cost { return sn.buildCost }
+
+// Diameter returns the build diameter the snapshot's parameters were
+// derived with. Deltas pin it: every repaired descendant reuses it, which
+// is what keeps repair and from-scratch rebuild parameter-identical.
+func (sn *Snapshot) Diameter() int { return sn.diameter }
+
+// Generation returns the snapshot's position in its delta chain: 0 for a
+// from-scratch build, parent+1 for each ApplyDelta.
+func (sn *Snapshot) Generation() uint64 { return sn.generation }
+
+// Repair describes the delta that produced this snapshot, or nil for a
+// from-scratch build. Callers must not modify the returned struct.
+func (sn *Snapshot) Repair() *RepairInfo { return sn.repair }

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/reproerr"
+)
+
+// Store owns a chain of epoch-tagged Snapshots and atomically swaps the
+// active one under live traffic. Readers pin the current epoch at executor
+// checkout (Server resolves its snapshot through the store per query, never
+// at pool construction), so a swap never tears an in-flight answer; a
+// retired epoch drains lock-free once its last pinned reader releases.
+//
+// All methods are safe for concurrent use. A Store never frees anything
+// itself — "drained" means no query is executing against the epoch anymore;
+// answers already returned may still share the retired snapshot's read-only
+// slices, which the garbage collector keeps alive for as long as needed.
+type Store struct {
+	active atomic.Pointer[epoch]
+
+	swapMu sync.Mutex // serializes swaps (readers never take it)
+	seq    uint64     // guarded by swapMu
+
+	pending atomic.Int64 // retired epochs not yet drained
+	swaps   atomic.Int64
+}
+
+// epoch is one link of the snapshot chain: the snapshot plus a reference
+// count. The store itself holds one reference while the epoch is active;
+// each in-flight query holds one from pin to unpin. When the count reaches
+// zero — necessarily after retirement, since the store's own reference
+// pins it while active — the epoch is drained, terminally: pin refuses to
+// resurrect a zero-count epoch, so the drained channel closes exactly once.
+type epoch struct {
+	seq     uint64
+	snap    *Snapshot
+	st      *Store
+	refs    atomic.Int64
+	drained chan struct{}
+}
+
+// NewStore creates a store serving snap at epoch 1.
+func NewStore(snap *Snapshot) *Store {
+	st := &Store{}
+	e := &epoch{seq: 1, snap: snap, st: st, drained: make(chan struct{})}
+	e.refs.Store(1)
+	st.seq = 1
+	st.active.Store(e)
+	return st
+}
+
+// Snapshot returns the currently active snapshot.
+func (st *Store) Snapshot() *Snapshot { return st.active.Load().snap }
+
+// Epoch returns the active epoch number (1 for the initial snapshot,
+// incremented by every swap).
+func (st *Store) Epoch() uint64 { return st.active.Load().seq }
+
+// Swaps returns the number of completed swaps.
+func (st *Store) Swaps() int64 { return st.swaps.Load() }
+
+// Pending returns the number of retired epochs that still have pinned
+// readers. A quiescent store reports 0.
+func (st *Store) Pending() int64 { return st.pending.Load() }
+
+// pin acquires a read reference on the active epoch. The CAS requires an
+// observed count ≥ 1 (the store's own reference while active), so a pin can
+// never land on a fully-drained epoch; a pin that races with a swap may
+// land on the just-retired epoch, which is correct — the reader began
+// before the swap completed — and simply delays that epoch's drain.
+func (st *Store) pin() *epoch {
+	for {
+		e := st.active.Load()
+		r := e.refs.Load()
+		if r < 1 {
+			continue // swapped out and drained between Load and here; reload
+		}
+		if e.refs.CompareAndSwap(r, r+1) {
+			return e
+		}
+	}
+}
+
+// unpin releases one reference; the final release of a retired epoch marks
+// it drained.
+func (e *epoch) unpin() {
+	if e.refs.Add(-1) == 0 {
+		e.st.pending.Add(-1)
+		close(e.drained)
+	}
+}
+
+// Swap atomically replaces the active snapshot, returning the retired
+// snapshot and the new epoch number. It does not wait for the retired
+// epoch to drain — use SwapCtx for that.
+func (st *Store) Swap(snap *Snapshot) (*Snapshot, uint64) {
+	old, seq := st.swap(snap)
+	return old.snap, seq
+}
+
+func (st *Store) swap(snap *Snapshot) (*epoch, uint64) {
+	st.swapMu.Lock()
+	old := st.active.Load()
+	st.seq++
+	e := &epoch{seq: st.seq, snap: snap, st: st, drained: make(chan struct{})}
+	e.refs.Store(1)
+	st.pending.Add(1) // old is retired as of the next line
+	st.active.Store(e)
+	st.swapMu.Unlock()
+	st.swaps.Add(1)
+	old.unpin() // drop the store's reference; drain completes when readers do
+	return old, e.seq
+}
+
+// SwapCtx swaps the active snapshot and waits for the retired epoch to
+// drain: when it returns nil, no query is executing against the returned
+// snapshot anymore. The swap itself is immediate and unconditional — new
+// queries see the new snapshot before SwapCtx returns — so a canceled wait
+// (KindCanceled/KindDeadline) reports only that draining was still in
+// progress, never that the swap failed. A nil ctx waits indefinitely.
+func (st *Store) SwapCtx(ctx context.Context, snap *Snapshot) (*Snapshot, error) {
+	old, _ := st.swap(snap)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-old.drained:
+		return old.snap, nil
+	default:
+	}
+	select {
+	case <-old.drained:
+		return old.snap, nil
+	case <-done:
+		return old.snap, reproerr.FromContext("serve.SwapCtx", ctx.Err())
+	}
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// White-box tests for the epoch store's pin/drain protocol. Snapshot
+// internals are irrelevant here — the store never looks inside one — so
+// zero-value snapshots stand in.
+
+func TestStoreSwapAndDrain(t *testing.T) {
+	a, b, c := &Snapshot{}, &Snapshot{}, &Snapshot{}
+	st := NewStore(a)
+	if st.Snapshot() != a || st.Epoch() != 1 || st.Pending() != 0 {
+		t.Fatalf("fresh store: snap=%p epoch=%d pending=%d", st.Snapshot(), st.Epoch(), st.Pending())
+	}
+
+	// Pin the active epoch, swap it out: the epoch retires but cannot drain
+	// while the pin is held.
+	e := st.pin()
+	retired, epoch := st.Swap(b)
+	if retired != a || epoch != 2 || st.Snapshot() != b {
+		t.Fatalf("swap: retired=%p epoch=%d active=%p", retired, epoch, st.Snapshot())
+	}
+	if st.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (reader still pinned)", st.Pending())
+	}
+	select {
+	case <-e.drained:
+		t.Fatal("epoch drained while pinned")
+	default:
+	}
+	e.unpin()
+	select {
+	case <-e.drained:
+	default:
+		t.Fatal("epoch not drained after last unpin")
+	}
+	if st.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", st.Pending())
+	}
+
+	// An unpinned swap drains immediately: SwapCtx returns without waiting.
+	if _, err := st.SwapCtx(context.Background(), c); err != nil {
+		t.Fatalf("SwapCtx on quiescent store: %v", err)
+	}
+	if st.Snapshot() != c || st.Epoch() != 3 || st.Swaps() != 2 {
+		t.Fatalf("after SwapCtx: active=%p epoch=%d swaps=%d", st.Snapshot(), st.Epoch(), st.Swaps())
+	}
+}
+
+func TestStoreSwapCtxCanceledWhilePinned(t *testing.T) {
+	a, b := &Snapshot{}, &Snapshot{}
+	st := NewStore(a)
+	e := st.pin()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	retired, err := st.SwapCtx(ctx, b)
+	if err == nil {
+		t.Fatal("SwapCtx returned nil error while a reader held the retired epoch")
+	}
+	// The swap itself happened regardless: new queries see b.
+	if retired != a || st.Snapshot() != b {
+		t.Fatalf("canceled SwapCtx did not swap: retired=%p active=%p", retired, st.Snapshot())
+	}
+	if st.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", st.Pending())
+	}
+	e.unpin()
+	if st.Pending() != 0 {
+		t.Fatalf("pending = %d after unpin", st.Pending())
+	}
+}
+
+// TestStorePinNeverResurrects pins across a swap: a pin taken before the
+// swap keeps serving the old epoch; pins after the swap land on the new
+// one; the old epoch drains exactly once.
+func TestStorePinNeverResurrects(t *testing.T) {
+	a, b := &Snapshot{}, &Snapshot{}
+	st := NewStore(a)
+	old := st.pin()
+	st.Swap(b)
+	fresh := st.pin()
+	if fresh.snap != b {
+		t.Fatalf("pin after swap landed on old epoch")
+	}
+	if old.snap != a {
+		t.Fatalf("pre-swap pin drifted")
+	}
+	fresh.unpin()
+	old.unpin()
+	select {
+	case <-old.drained:
+	default:
+		t.Fatal("old epoch not drained")
+	}
+	// The drained epoch must never be pinnable again: the active epoch is
+	// b, so a new pin lands there.
+	again := st.pin()
+	if again.snap != b {
+		t.Fatal("pin landed on a drained epoch")
+	}
+	again.unpin()
+}

@@ -86,6 +86,28 @@ func NewPartition(g *graph.Graph, parts [][]graph.NodeID) (*Partition, error) {
 // Graph returns the underlying graph.
 func (p *Partition) Graph() *graph.Graph { return p.g }
 
+// Rebind returns a Partition over g2 with the same parts, sharing the node
+// lists and part-of table (parts are vertex sets, and deltas never change
+// the vertex universe). Connectivity — the one invariant an edge deletion
+// can break — is revalidated only for the part indices in recheck: the
+// dynamic update path passes the parts that lost an intra-part edge, so the
+// cost scales with the delta, not with ℓ.
+func (p *Partition) Rebind(g2 *graph.Graph, recheck []int) (*Partition, error) {
+	const op = "shortcut.Rebind"
+	if g2.NumNodes() != p.g.NumNodes() {
+		return nil, reproerr.Invalid(op, "node count changed: %d -> %d", p.g.NumNodes(), g2.NumNodes())
+	}
+	for _, i := range recheck {
+		if i < 0 || i >= len(p.parts) {
+			return nil, reproerr.Invalid(op, "part %d out of range [0,%d)", i, len(p.parts))
+		}
+		if !graph.IsNodeSetConnected(g2, p.parts[i].Nodes) {
+			return nil, reproerr.Invalid(op, "part %d disconnected by delta", i)
+		}
+	}
+	return &Partition{g: g2, parts: p.parts, partOf: p.partOf}, nil
+}
+
 // NumParts returns the number of parts ℓ.
 func (p *Partition) NumParts() int { return len(p.parts) }
 

@@ -164,16 +164,39 @@ func (s *Shortcuts) Dilation(exactCutoff int) (Quality, error) {
 // parts (the per-part BFS sweep is the expensive unit). A nil ctx behaves
 // like context.Background.
 func (s *Shortcuts) DilationCtx(ctx context.Context, exactCutoff int) (Quality, error) {
-	var q Quality
-	q.Exact = true
-	for i := 0; i < s.P.NumParts(); i++ {
+	partDil, err := s.PartDilations(ctx, exactCutoff)
+	if err != nil {
+		return Quality{Exact: true}, err
+	}
+	return AggregateQuality(partDil, s.Congestion()), nil
+}
+
+// PartDilations measures every part's dilation individually (each returned
+// Quality has Congestion 0), cancelable between parts. This is the per-part
+// record the dynamic snapshot path caches so a repair re-measures only
+// touched parts; AggregateQuality folds it back into DilationCtx's result.
+func (s *Shortcuts) PartDilations(ctx context.Context, exactCutoff int) ([]Quality, error) {
+	out := make([]Quality, s.P.NumParts())
+	for i := range out {
 		if err := ctxCheck("shortcut.Dilation", ctx); err != nil {
-			return q, err
+			return nil, err
 		}
 		pq, err := s.PartDilation(i, exactCutoff)
 		if err != nil {
-			return q, err
+			return nil, err
 		}
+		out[i] = pq
+	}
+	return out, nil
+}
+
+// AggregateQuality folds per-part dilations and a congestion measurement
+// into one Quality — the single fold shared by DilationCtx and the serving
+// layer's snapshot build/repair, so a repaired snapshot's quality is
+// definitionally identical to a rebuilt one's.
+func AggregateQuality(partDil []Quality, congestion int) Quality {
+	q := Quality{Exact: true, Congestion: congestion}
+	for _, pq := range partDil {
 		if !pq.Exact {
 			q.Exact = false
 		}
@@ -184,8 +207,7 @@ func (s *Shortcuts) DilationCtx(ctx context.Context, exactCutoff int) (Quality, 
 			q.DilationHi = pq.DilationHi
 		}
 	}
-	q.Congestion = s.Congestion()
-	return q, nil
+	return q
 }
 
 // PartDilation measures the dilation of part i's augmented subgraph alone —

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/gen"
 )
 
 // v2Fixture builds the shared graph/weights/partition the equivalence
@@ -357,6 +358,75 @@ func (pingProg) Round(round int, v *repro.CongestView, in []repro.CongestInbound
 }
 
 func (pingProg) Done() bool { return true }
+
+// TestV2ApplyDelta pins the facade's dynamic-graph surface: ApplyDeltaCtx
+// produces a snapshot bit-identical (tree, weight, quality) to a
+// from-scratch NewSnapshotCtx on the post-delta graph with the same seed,
+// and the Store hot-swap serves it.
+func TestV2ApplyDelta(t *testing.T) {
+	fx := makeV2Fixture(t)
+	ctx := context.Background()
+	opts := []repro.Option{repro.WithSeed(11), repro.WithDiameter(5), repro.WithSamplingBoost(0.3)}
+	base, err := repro.NewSnapshotCtx(ctx, fx.g, fx.w, fx.parts, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An insert-only delta is always repairable.
+	d, err := gen.InsertDelta(fx.g, 8, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := repro.ApplyDeltaCtx(ctx, base, d, repro.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.Generation() != 1 || repaired.Repair() == nil {
+		t.Fatalf("generation %d, repair %+v", repaired.Generation(), repaired.Repair())
+	}
+	if repaired.Cost().Wall <= 0 {
+		t.Error("repair Cost.Wall not recorded")
+	}
+	g2, w2, _, err := repro.ApplyGraphDelta(fx.g, fx.w, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := repro.NewSnapshotCtx(ctx, g2, w2, fx.parts, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repaired.Tree(), rebuilt.Tree()) {
+		t.Fatal("repaired tree differs from rebuilt tree")
+	}
+	if repaired.TreeWeight() != rebuilt.TreeWeight() || repaired.Quality() != rebuilt.Quality() {
+		t.Fatalf("repaired %v/%v vs rebuilt %v/%v",
+			repaired.TreeWeight(), repaired.Quality(), rebuilt.TreeWeight(), rebuilt.Quality())
+	}
+
+	// Hot-swap: a store-backed v2 server answers against the repaired
+	// snapshot after SwapCtx drains the base epoch.
+	store := repro.NewStore(base)
+	srv, err := repro.NewStoreServerV2(store, repro.WithExecutors(2), repro.WithServerSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ServeCtx(ctx, repro.MSTQuery{}); err != nil {
+		t.Fatal(err)
+	}
+	retired, err := store.SwapCtx(ctx, repaired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retired != base || store.Epoch() != 2 {
+		t.Fatalf("swap: retired %p epoch %d", retired, store.Epoch())
+	}
+	a, err := srv.ServeCtx(ctx, repro.MSTQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.(*repro.MSTAnswer).Weight != repaired.TreeWeight() {
+		t.Fatal("store-backed server answered against the retired epoch")
+	}
+}
 
 // TestV2ServerEquivalence pins the v2 server construction and context-first
 // query methods against the v1 server.
