@@ -212,7 +212,8 @@ func NewSnapshotCtx(ctx context.Context, g *Graph, w Weights, parts [][]NodeID, 
 }
 
 // NewServerV2 builds a server over snap from functional options
-// (WithExecutors, WithWorkers, WithSeed / WithServerSeed). The server's
+// (WithExecutors, WithWorkers, WithSeed / WithServerSeed,
+// WithBitParallel). The server's
 // context-first query methods — ServeCtx, ServeBatchCtx, ServeSSSPIntoCtx —
 // gate executor checkout on the context and thread it into every scheduled
 // phase; a canceled query leaves the pool fully usable.
@@ -222,9 +223,10 @@ func NewServerV2(snap *Snapshot, opts ...Option) (*Server, error) {
 		return nil, err
 	}
 	return serve.NewServer(snap, serve.ServerOptions{
-		Executors: cfg.Executors,
-		Workers:   cfg.Workers,
-		Seed:      cfg.serverSeed(),
+		Executors:          cfg.Executors,
+		Workers:            cfg.Workers,
+		Seed:               cfg.serverSeed(),
+		DisableBitParallel: cfg.DisableBitParallel,
 	}), nil
 }
 
@@ -296,7 +298,8 @@ func ApplyDeltaCtx(ctx context.Context, snap *Snapshot, delta Delta, opts ...Opt
 }
 
 // NewStoreServerV2 builds a server over a store from functional options
-// (WithExecutors, WithWorkers, WithSeed / WithServerSeed): every query is
+// (WithExecutors, WithWorkers, WithSeed / WithServerSeed,
+// WithBitParallel): every query is
 // answered against the store's snapshot current at that query's executor
 // checkout, with the epoch pinned until the answer is extracted — a
 // concurrent Store.Swap never tears an answer or a batch.
@@ -306,9 +309,10 @@ func NewStoreServerV2(store *Store, opts ...Option) (*Server, error) {
 		return nil, err
 	}
 	return serve.NewStoreServer(store, serve.ServerOptions{
-		Executors: cfg.Executors,
-		Workers:   cfg.Workers,
-		Seed:      cfg.serverSeed(),
+		Executors:          cfg.Executors,
+		Workers:            cfg.Workers,
+		Seed:               cfg.serverSeed(),
+		DisableBitParallel: cfg.DisableBitParallel,
 	}), nil
 }
 

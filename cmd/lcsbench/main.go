@@ -78,6 +78,7 @@ func run(args []string, stdout io.Writer) error {
 		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		engine    = fs.String("engine", "sequential", "CONGEST engine for simulated experiments: sequential, pool (one worker per CPU), or a worker count")
 		jsonOut   = fs.Bool("json", false, "emit all tables as a JSON array (overrides -csv)")
+		benchOut  = fs.String("bench-out", "", "also write the run envelope + tables as JSON to this file (e.g. BENCH_serving.json for -serve runs); stdout keeps its text/CSV/JSON form")
 
 		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit); exercises the library's context-first cancellation end-to-end")
 
@@ -194,7 +195,7 @@ func run(args []string, stdout io.Writer) error {
 			// A -timeout abort surfaces as the library's canceled/deadline
 			// taxonomy; -json reports it (plus the partial cost and the
 			// tables that completed) instead of failing the process.
-			if kind := reproerr.KindOf(err); *jsonOut &&
+			if kind := reproerr.KindOf(err); (*jsonOut || *benchOut != "") &&
 				(kind == reproerr.KindCanceled || kind == reproerr.KindDeadline ||
 					errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 				info.Canceled = true
@@ -203,8 +204,8 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
+		tables = append(tables, tbl)
 		if *jsonOut {
-			tables = append(tables, tbl)
 			continue
 		}
 		if *csv {
@@ -213,8 +214,21 @@ func run(args []string, stdout io.Writer) error {
 			tbl.Fprint(stdout)
 		}
 	}
+	info.Cost = &cost.Cost{Wall: time.Since(start)}
+	if *benchOut != "" {
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			return fmt.Errorf("-bench-out: %w", err)
+		}
+		if err := expt.WriteJSON(f, info, tables); err != nil {
+			f.Close()
+			return fmt.Errorf("-bench-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-bench-out: %w", err)
+		}
+	}
 	if *jsonOut {
-		info.Cost = &cost.Cost{Wall: time.Since(start)}
 		return expt.WriteJSON(stdout, info, tables)
 	}
 	return nil

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -78,11 +80,51 @@ func TestServeSweepJSON(t *testing.T) {
 	if !strings.Contains(tbl.Title, "E14") {
 		t.Fatalf("unexpected table: %q", tbl.Title)
 	}
-	if len(tbl.Rows) != 4 { // 2 executor settings × 2 batch sizes
-		t.Fatalf("want 4 sweep rows, got %d", len(tbl.Rows))
+	// 2 executor settings × (batch 1: one walk row + batch 4: bitparallel
+	// and scalar kernel rows).
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("want 6 sweep rows, got %d", len(tbl.Rows))
+	}
+	kernels := map[string]int{}
+	for _, row := range tbl.Rows {
+		kernels[row[3]]++
+	}
+	if kernels["walk"] != 2 || kernels["bitparallel"] != 2 || kernels["scalar"] != 2 {
+		t.Fatalf("unexpected kernel dimension: %v", kernels)
 	}
 	if _, ok := tbl.Meta["build_ms"]; !ok {
 		t.Fatalf("missing build_ms meta: %v", tbl.Meta)
+	}
+}
+
+// TestBenchOut drives a -serve sweep with -bench-out and checks the file
+// holds the same envelope -json prints, while stdout keeps its text form.
+func TestBenchOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-quick", "-serve", "-dist-sizes", "300",
+		"-serve-queries", "8", "-serve-executors", "1", "-serve-batches", "4",
+		"-bench-out", path,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E14") {
+		t.Fatalf("stdout lost its text table:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("-bench-out file does not parse: %v", err)
+	}
+	if len(env.Tables) != 1 || !strings.Contains(env.Tables[0].Title, "E14") {
+		t.Fatalf("unexpected -bench-out tables: %+v", env.Tables)
+	}
+	if env.Run.Cost == nil || env.Run.Cost.Wall <= 0 {
+		t.Fatalf("missing run envelope cost: %+v", env.Run)
 	}
 }
 

@@ -22,7 +22,7 @@ import (
 func E14Serving(cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
 	t := NewTable("E14: serving layer throughput (snapshot + pooled executors)",
-		"n", "executors", "batch", "queries", "warm qps", "rebuild qps", "speedup", "sim rounds/query")
+		"n", "executors", "batch", "kernel", "queries", "warm qps", "ms/query", "rebuild qps", "speedup", "sim rounds/query")
 	n := cfg.DistSizes[len(cfg.DistSizes)-1]
 	rng := cfg.rng(16_000_000_000)
 	g, err := gen.ClusterChain(n, 6, rng)
@@ -62,24 +62,36 @@ func E14Serving(cfg Config) (*Table, error) {
 	rebuildPer := time.Since(rebuildStart) / time.Duration(rebuildQueries)
 	rebuildQPS := float64(time.Second) / float64(rebuildPer)
 
+	// The kernel dimension: batched groups run on the bit-parallel kernel by
+	// default and on the scalar random-delay kernel with DisableBitParallel —
+	// answers are identical, so any qps gap is pure kernel throughput.
+	// Single-query points (batch 1) take the warm tree walk; no batch kernel
+	// ever runs, so they get one "walk" row.
 	var warmPer time.Duration
 	for _, executors := range cfg.ServeExecutors {
 		for _, batch := range cfg.ServeBatches {
-			srv := serve.NewServer(snap, serve.ServerOptions{
-				Executors: executors, Workers: cfg.Workers, Seed: cfg.Seed,
-			})
-			elapsed, simRounds, err := fireQueries(cfg.ctx(), srv, g.NumNodes(), cfg.ServeQueries, executors, batch)
-			if err != nil {
-				return nil, fmt.Errorf("E14 executors=%d batch=%d: %w", executors, batch, err)
+			kernels := []string{"walk"}
+			if batch > 1 {
+				kernels = []string{"bitparallel", "scalar"}
 			}
-			per := elapsed / time.Duration(cfg.ServeQueries)
-			if warmPer == 0 || per < warmPer {
-				warmPer = per
+			for _, kernel := range kernels {
+				srv := serve.NewServer(snap, serve.ServerOptions{
+					Executors: executors, Workers: cfg.Workers, Seed: cfg.Seed,
+					DisableBitParallel: kernel == "scalar",
+				})
+				elapsed, simRounds, err := fireQueries(cfg.ctx(), srv, g.NumNodes(), cfg.ServeQueries, executors, batch)
+				if err != nil {
+					return nil, fmt.Errorf("E14 executors=%d batch=%d kernel=%s: %w", executors, batch, kernel, err)
+				}
+				per := elapsed / time.Duration(cfg.ServeQueries)
+				if warmPer == 0 || per < warmPer {
+					warmPer = per
+				}
+				qps := float64(time.Second) / float64(per)
+				t.AddRow(I(g.NumNodes()), I(executors), I(batch), kernel, I(cfg.ServeQueries),
+					F(qps), F(float64(per)/float64(time.Millisecond)), F(rebuildQPS), F(qps/rebuildQPS),
+					F(float64(simRounds)/float64(cfg.ServeQueries)))
 			}
-			qps := float64(time.Second) / float64(per)
-			t.AddRow(I(g.NumNodes()), I(executors), I(batch), I(cfg.ServeQueries),
-				F(qps), F(rebuildQPS), F(qps/rebuildQPS),
-				F(float64(simRounds)/float64(cfg.ServeQueries)))
 		}
 	}
 
@@ -92,6 +104,7 @@ func E14Serving(cfg Config) (*Table, error) {
 			buildTime.Round(time.Millisecond), breakEven, rebuildPer.Round(time.Millisecond))
 	}
 	t.AddNote("sim rounds/query is the marginal simulated cost: batched queries share one scheduler execution")
+	t.AddNote("kernel: batched groups run bit-parallel (64 sources per frontier word) vs scalar random-delay; batch 1 is the warm tree walk")
 	t.SetMeta("build_ms", float64(buildTime)/float64(time.Millisecond))
 	t.SetMeta("rebuild_ms_per_query", float64(rebuildPer)/float64(time.Millisecond))
 	t.SetMeta("workers", cfg.Workers)

@@ -1,0 +1,394 @@
+package sched
+
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/reproerr"
+)
+
+// Bit-parallel multi-source BFS: the batch fast path of the serving layer.
+//
+// The scalar kernel (bfs.go) schedules B independent BFS tasks by random
+// delays and pays one token per (task, arc) crossing — warm batch
+// throughput therefore scales ~linearly in B. Verification/serving BFS over
+// a snapshot's tree index is *unweighted*, which is exactly the regime
+// where classic bit-parallel multi-source BFS applies: pack up to 64
+// concurrent sources into one uint64 frontier word per arc, so one word of
+// token traffic carries a whole batch's frontier across an edge. Batches of
+// more than 64 sources run as ⌈B/64⌉ sequential waves over the same reused
+// state.
+//
+// The kernel runs undelayed (MaxDelay must be 0) and level-synchronized:
+// every wave's sources start in round 0, so a token delivered in round r
+// carries frontier bits of depth r-1 — all bits of one word share one
+// distance, and the token carries it exactly like the scalar kernel's. A
+// push onto a non-empty arc queue OR-merges into the queued word instead of
+// appending, so per-arc backlog never exceeds one token and the execution
+// is congestion-free: rounds ≈ max BFS depth + 2 per wave, messages = word
+// tokens delivered.
+//
+// Token layout: visit is the frontier word (bit b = task waveBase+b's
+// frontier crossed this arc), notify the child-notification word riding the
+// reverse arc toward the parent (same CONGEST message the scalar kernel
+// sends, word-packed), dist the shared BFS depth of the visit bits.
+//
+// The sharded drain applies unchanged: word-OR is commutative and
+// associative, every merge happens inside the arc owner's deliver phase
+// (only the tail-owner shard touches a queue, and the pop/deliver barrier
+// separates rounds), per-(task, node) state writes stay receiver-local, and
+// the worklist is rebuilt canonically — so outcomes and Stats are
+// bit-for-bit identical across Workers settings, like the scalar drain
+// (see drain.go).
+//
+// Results are written through the scalar kernel's dense/sparse per-task
+// state into the same CSR BFSForest, so BFSOutcome views, extraction, and
+// every downstream consumer are untouched. On any input whose admitted
+// subgraph is a forest (the serving layer's tree-restricted BFS — see
+// sssp.TreeIndex.BitParallelEligible), visited sets, distances, and parent
+// arcs are bit-identical to the scalar kernel's under every delay setting,
+// because tree paths are unique; on general graphs they agree whenever no
+// congestion-induced tie can flip a parent (always for single-task runs).
+
+// bitToken is the bit-parallel kernel's word token (see the package comment
+// above for the layout).
+type bitToken struct {
+	visit  uint64
+	notify uint64
+	dist   int32
+}
+
+// bitRun is the drain handler of one bit-parallel wave. Task indices passed
+// by the drain are wave-local (0..width); base offsets them into the global
+// task list. All tasks must share one Allowed filter — the kernel applies
+// the wave's first filter word-wide, which is why eligibility is the
+// caller's contract (the serving layer passes one tree-membership filter
+// for the whole batch).
+type bitRun struct {
+	r       *Runner
+	g       *graph.Graph
+	tasks   []BFSTask
+	allowed graph.ArcFilter
+	parc    []int32 // streaming mode (Options.ParcInto): task-major, stride n
+	order   []int64 // sequential visit log (Options.VisitOrder); overrides parc stores
+	ocur    int     // next log entry; carried across waves
+	base    int32
+	width   int
+	n       int
+	stride  int
+	dense   bool
+	uniform bool // every wave task unbounded: expansion mask is all-ones
+}
+
+// record writes the first arrival of global task ti at node v into the
+// shared dense/sparse per-task state — or, in streaming mode, stores the
+// parent arc inline. The bit kernel deduplicates through the per-node
+// frontier words, so unlike bfsRun.visit no membership check is needed — and
+// the sparse path skips the visit set entirely.
+func (h *bitRun) record(sh int, ti int32, v graph.NodeID, dist int32, arc int32) {
+	if h.order != nil {
+		h.order[h.ocur] = int64(ti)<<32 | int64(uint32(arc))
+		h.ocur++
+		return
+	}
+	if h.parc != nil {
+		h.parc[int(ti)*h.n+int(v)] = arc
+		return
+	}
+	if h.dense {
+		r := h.r
+		r.denseBits[int(ti)*h.stride+int(v>>6)] |= uint64(1) << (uint(v) & 63)
+		r.dense[int(ti)*h.n+int(v)] = denseCell{dist: dist, parc: arc}
+		return
+	}
+	st := &h.r.bfsShards[sh]
+	st.vtask = append(st.vtask, ti)
+	st.vnode = append(st.vnode, v)
+	st.vdist = append(st.vdist, dist)
+	st.vparc = append(st.vparc, arc)
+}
+
+// send pushes tk onto arc from the delivery at snapshot position pos, which
+// shard sh executes — or OR-merges it into the arc's queued word. Backlog
+// never exceeds one token: deliveries of round r push only tokens popped in
+// round r+1, so a non-empty queue always holds a same-round word and the
+// merge preserves the shared dist.
+func (h *bitRun) send(sh int, pos int32, arc int32, tk bitToken) {
+	d := &h.r.bitd
+	q := &d.arcs[arc]
+	if q.epoch == d.epoch && q.qlen > 0 {
+		q.slot.visit |= tk.visit
+		q.slot.notify |= tk.notify
+		if tk.visit != 0 {
+			q.slot.dist = tk.dist
+		}
+		return
+	}
+	s := &d.shards[sh]
+	if push(d.arcs, d.epoch, &s.arena, arc, tk) {
+		if d.directAct {
+			d.active = append(d.active, arc)
+			return
+		}
+		s.newAct = append(s.newAct, activation{pos: pos, arc: arc})
+	}
+}
+
+// seed is send for task starts: the coordinator runs starts between rounds,
+// so activations append straight to the worklist like drainer.seed.
+func (h *bitRun) seed(arc int32, bit uint64) {
+	d := &h.r.bitd
+	q := &d.arcs[arc]
+	if q.epoch == d.epoch && q.qlen > 0 {
+		q.slot.visit |= bit
+		q.slot.dist = 0
+		return
+	}
+	sh := d.shardOfNode(d.g.ArcTail(arc))
+	if push(d.arcs, d.epoch, &d.shards[sh].arena, arc, bitToken{visit: bit, dist: 0}) {
+		d.active = append(d.active, arc)
+	}
+}
+
+func (h *bitRun) start(ti int32) {
+	g := h.g
+	t := &h.tasks[h.base+ti]
+	root := t.Root
+	bit := uint64(1) << uint(ti)
+	h.r.bitWords[root] |= bit
+	h.record(h.r.bitd.shardOfNode(root), h.base+ti, root, 0, -1)
+	if t.DepthLimit == 0 {
+		return
+	}
+	lo, hi := g.ArcRange(root)
+	for a := lo; a < hi; a++ {
+		if h.allowed != nil && !h.allowed(a, root, g.ArcTarget(a), g.ArcEdge(a)) {
+			continue
+		}
+		h.seed(a, bit)
+	}
+}
+
+func (h *bitRun) deliver(sh int, pos int32, arc int32, tk bitToken) {
+	g := h.g
+	v := g.ArcTarget(arc)
+	if tk.notify != 0 {
+		st := &h.r.bfsShards[sh]
+		down := g.ArcReverse(arc)
+		for w := tk.notify; w != 0; w &= w - 1 {
+			st.ctask = append(st.ctask, h.base+int32(bits.TrailingZeros64(w)))
+			st.carc = append(st.carc, down)
+		}
+	}
+	newBits := tk.visit &^ h.r.bitWords[v]
+	if newBits == 0 {
+		return
+	}
+	h.r.bitWords[v] |= newBits
+	nd := tk.dist + 1
+	for w := newBits; w != 0; w &= w - 1 {
+		h.record(sh, h.base+int32(bits.TrailingZeros64(w)), v, nd, arc)
+	}
+	// skip is the echo arc suppressed in streaming mode: newBits all came
+	// from this arc's tail, which has them visited, and with no child
+	// notifications riding the reverse word it would be pure dead traffic.
+	// Default runs keep it — it merges with the notification word below and
+	// models the same CONGEST bandwidth sharing as the scalar kernel.
+	skip := int32(-1)
+	if h.parc == nil {
+		// Notify the parents over the reverse direction of this edge,
+		// exactly like the scalar kernel — one word for the whole batch.
+		h.send(sh, pos, g.ArcReverse(arc), bitToken{notify: newBits})
+	} else {
+		skip = g.ArcReverse(arc)
+	}
+	em := newBits
+	if !h.uniform {
+		em &= h.expandMask(sh, nd)
+	}
+	if em == 0 {
+		return
+	}
+	lo, hi := g.ArcRange(v)
+	if h.allowed == nil {
+		for a := lo; a < hi; a++ {
+			if a == skip {
+				continue
+			}
+			h.send(sh, pos, a, bitToken{visit: em, dist: nd})
+		}
+		return
+	}
+	for a := lo; a < hi; a++ {
+		if a == skip || !h.allowed(a, v, g.ArcTarget(a), g.ArcEdge(a)) {
+			continue
+		}
+		h.send(sh, pos, a, bitToken{visit: em, dist: nd})
+	}
+}
+
+// expandMask returns the word of wave tasks still expanding at depth nd
+// (DepthLimit < 0 or nd < DepthLimit). Level synchronization means every
+// delivery of a round shares one nd, so the mask is computed once per shard
+// per round and cached shard-locally (no cross-worker state).
+func (h *bitRun) expandMask(sh int, nd int32) uint64 {
+	r := h.r
+	if r.bitMaskDepth[sh] == nd {
+		return r.bitMask[sh]
+	}
+	var m uint64
+	for b := 0; b < h.width; b++ {
+		if dl := h.tasks[int(h.base)+b].DepthLimit; dl < 0 || nd < dl {
+			m |= uint64(1) << uint(b)
+		}
+	}
+	r.bitMaskDepth[sh] = nd
+	r.bitMask[sh] = m
+	return m
+}
+
+// ParallelBFSBitInto is the bit-parallel fast path of ParallelBFSInto: it
+// grows all tasks' BFS trees with word-per-arc token traffic instead of
+// token-per-task, writing the outcome into f with buffer reuse. Requirements
+// beyond the scalar kernel's (the serving layer guarantees both):
+//
+//   - opts.MaxDelay must be 0 (the kernel is level-synchronized; delays are
+//     pointless without congestion anyway), so no Rng is consumed;
+//   - every task must carry the same Allowed filter — the kernel applies
+//     one filter word-wide and cannot verify closure equality.
+//
+// Batches of more than 64 tasks run as ⌈B/64⌉ waves; Stats accumulate
+// across waves (Rounds/Messages sum — the serialized wave schedule — and
+// MaxArcLoad/MaxQueue take the max), and opts.MaxRounds bounds each wave.
+// With a reused Runner the execution is allocation-free in steady state.
+// Outcomes and Stats are bit-for-bit identical across Workers settings and
+// across the dense/sparse state representations.
+func (r *Runner) ParallelBFSBitInto(f *BFSForest, g *graph.Graph, tasks []BFSTask, opts Options) (Stats, error) {
+	if opts.MaxDelay != 0 {
+		return Stats{}, reproerr.Invalid("sched", "bit-parallel kernel runs undelayed (MaxDelay %d != 0)", opts.MaxDelay)
+	}
+	n := g.NumNodes()
+	numTasks := len(tasks)
+	if opts.ParcInto != nil && len(opts.ParcInto) < numTasks*n {
+		return Stats{}, reproerr.Invalid("sched.ParallelBFSBit",
+			"ParcInto holds %d cells, need numTasks·n = %d", len(opts.ParcInto), numTasks*n)
+	}
+	if opts.ParcInto != nil && opts.VisitOrder != nil && len(opts.VisitOrder) < numTasks*n {
+		return Stats{}, reproerr.Invalid("sched.ParallelBFSBit",
+			"VisitOrder holds %d entries, need numTasks·n = %d", len(opts.VisitOrder), numTasks*n)
+	}
+	d := &r.bitd
+	p := d.prepare(g, opts.Workers)
+	var order []int64
+	if p == 1 && opts.ParcInto != nil {
+		order = opts.VisitOrder
+	}
+	dense := numTasks > 0 && n > 0 && numTasks <= denseStateLimit/n
+	stride := (n + 63) / 64
+	if dense && opts.ParcInto == nil {
+		// Streaming runs need none of this: the frontier words dedup and
+		// the visits land inline in ParcInto.
+		size := numTasks * n
+		r.denseBits = resize(r.denseBits, numTasks*stride)
+		for i := range r.denseBits {
+			r.denseBits[i] = 0
+		}
+		r.dense = resize(r.dense, size)
+		r.denseVis = resize(r.denseVis, size) // written during extraction only
+	}
+	if cap(r.bfsShards) >= p {
+		r.bfsShards = r.bfsShards[:p]
+	} else {
+		ns := make([]bfsShardState, p)
+		copy(ns, r.bfsShards)
+		r.bfsShards = ns
+	}
+	for w := range r.bfsShards {
+		r.bfsShards[w].reset(false) // frontier words dedup; the visit set is never consulted
+	}
+	r.bitWords = resize(r.bitWords, n)
+	r.bitMask = resize(r.bitMask, p)
+	r.bitMaskDepth = resize(r.bitMaskDepth, p)
+
+	var stats Stats
+	var firstErr error
+	ocur := 0
+	for base := 0; base < numTasks; base += 64 {
+		if base > 0 {
+			d.prepare(g, opts.Workers) // fresh queues and worklist per wave
+		}
+		width := numTasks - base
+		if width > 64 {
+			width = 64
+		}
+		for i := range r.bitWords {
+			r.bitWords[i] = 0
+		}
+		uniform := true
+		for i := 0; i < width; i++ {
+			if tasks[base+i].DepthLimit >= 0 {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
+			for w := 0; w < p; w++ {
+				r.bitMaskDepth[w] = -1 // nd starts at 1: never a stale hit
+			}
+		}
+		r.bitRun = bitRun{
+			r: r, g: g, tasks: tasks, allowed: tasks[base].Allowed,
+			parc: opts.ParcInto, order: order, ocur: ocur,
+			base: int32(base), width: width, n: n, stride: stride,
+			dense: dense, uniform: uniform,
+		}
+		d.h = &r.bitRun
+		if err := r.starts.plan(width, opts); err != nil {
+			return stats, err
+		}
+		// The pool is per wave: prepare() rebinds shard state between waves
+		// and must never run concurrently with a live worker.
+		maxRounds := opts.maxRounds(n + width + 64)
+		d.startPool()
+		ws, err := d.drive(&r.starts, maxRounds, opts)
+		d.stopPool()
+		ocur = r.bitRun.ocur
+		stats.Rounds += ws.Rounds
+		stats.Messages += ws.Messages
+		if ws.MaxArcLoad > stats.MaxArcLoad {
+			stats.MaxArcLoad = ws.MaxArcLoad
+		}
+		if ws.MaxQueue > stats.MaxQueue {
+			stats.MaxQueue = ws.MaxQueue
+		}
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	// Extract even on an aborted wave: partial outcomes are reported, as in
+	// the scalar kernel. Streaming runs wrote every visit into ParcInto
+	// already.
+	switch {
+	case opts.ParcInto != nil:
+		f.resetEmpty(g, numTasks)
+		if opts.VisitOrder != nil {
+			stats.OrderedVisits = ocur
+			if order == nil {
+				stats.OrderedVisits = -1
+			}
+		}
+	case dense:
+		r.extractForestDense(f, g, numTasks)
+	default:
+		r.extractForestSparse(f, g, numTasks)
+	}
+	return stats, firstErr
+}
+
+// ParallelBFSBit is the fresh-forest form of ParallelBFSBitInto.
+func (r *Runner) ParallelBFSBit(g *graph.Graph, tasks []BFSTask, opts Options) (*BFSForest, Stats, error) {
+	f := &BFSForest{}
+	stats, err := r.ParallelBFSBitInto(f, g, tasks, opts)
+	return f, stats, err
+}

@@ -1,0 +1,57 @@
+package sched
+
+// Kernel-level throughput comparison: the bit-parallel batch kernel vs the
+// scalar random-delay kernel on the serving regime's workload — a batch of
+// sources running tree-restricted BFS over ClusterChain (run explicitly with
+// -benchtime; the n=1e5 fixture is what BenchmarkServeBatch serves).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func benchTreeBatch(b *testing.B, n, batch int) (*graph.Graph, []BFSTask) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g, err := gen.ClusterChain(n, 6, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	allowed := treeFilter(g)
+	tasks := make([]BFSTask, batch)
+	for i := range tasks {
+		tasks[i] = BFSTask{Root: graph.NodeID(i * 1549 % n), Allowed: allowed, DepthLimit: -1}
+	}
+	return g, tasks
+}
+
+func BenchmarkBitKernel64(b *testing.B) {
+	g, tasks := benchTreeBatch(b, 100_000, 64)
+	var r Runner
+	var f BFSForest
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ParallelBFSBitInto(&f, g, tasks, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalarKernel64(b *testing.B) {
+	g, tasks := benchTreeBatch(b, 100_000, 64)
+	var r Runner
+	var f BFSForest
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ParallelBFSInto(&f, g, tasks, Options{
+			MaxDelay: len(tasks), Rng: rand.New(rand.NewSource(17)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

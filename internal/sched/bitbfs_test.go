@@ -1,0 +1,331 @@
+package sched
+
+// Bit-parallel kernel property tests: ParallelBFSBitInto must agree with the
+// scalar ParallelBFSInto wherever agreement is well-defined, and with itself
+// across every execution mode everywhere.
+//
+// Agreement scoping (see bitbfs.go): on forest-restricted runs — the serving
+// layer's regime, where the Allowed filter admits a spanning forest — every
+// (task, node) pair has a unique admitted path, so visited sets, distances,
+// and parent arcs are forced and the two kernels match bit-for-bit under
+// every delay/batch/worker setting (child arrival *order* may differ; the
+// child *sets* must match). On general graphs a single undelayed task has no
+// ties either, so the full forest including child order must match. Stats
+// are compared only between bit-kernel runs: the whole point of the kernel
+// is a different (smaller) traffic pattern.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// treeFilter returns an ArcFilter admitting exactly the edges of a BFS
+// spanning forest of g — the shape of the serving layer's tree-restricted
+// batch BFS.
+func treeFilter(g *graph.Graph) graph.ArcFilter {
+	inTree := make([]bool, g.NumEdges())
+	seen := make([]bool, g.NumNodes())
+	queue := make([]graph.NodeID, 0, g.NumNodes())
+	for s := 0; s < g.NumNodes(); s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], graph.NodeID(s))
+		for h := 0; h < len(queue); h++ {
+			u := queue[h]
+			lo, hi := g.ArcRange(u)
+			for a := lo; a < hi; a++ {
+				v := g.ArcTarget(a)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				inTree[g.ArcEdge(a)] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return func(_ int32, _, _ graph.NodeID, e graph.EdgeID) bool { return inTree[e] }
+}
+
+// mkBatch builds k tasks sharing one filter (the kernel's contract), with a
+// guaranteed duplicate root pair and, when mixed, a sprinkle of depth limits.
+func mkBatch(g *graph.Graph, k int, allowed graph.ArcFilter, mixedDepth bool, rng *rand.Rand) []BFSTask {
+	tasks := make([]BFSTask, k)
+	for i := range tasks {
+		tasks[i] = BFSTask{Root: graph.NodeID(rng.Intn(g.NumNodes())), Allowed: allowed, DepthLimit: -1}
+		if mixedDepth && i%5 == 3 {
+			tasks[i].DepthLimit = int32(2 + i%4)
+		}
+	}
+	if k >= 2 {
+		tasks[1].Root = tasks[0].Root // duplicate roots must coexist in a word
+	}
+	return tasks
+}
+
+// bitFamilies are the graph shapes the bit-kernel suites sweep.
+func bitFamilies(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(402))
+	cc, err := gen.ClusterChain(400, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := gen.NewHardInstance(500, 4, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"clusterchain": cc,
+		"hardinstance": hi.G,
+		"erdosrenyi":   gen.ErdosRenyi(300, 0.02, rng),
+		"star":         gen.Star(50),
+	}
+}
+
+// compareForests asserts structural equality of two forests: identical visit
+// slots (node, dist, parent arc) and identical child sets; with childOrder,
+// identical child sequences too.
+func compareForests(t *testing.T, label string, want, got *BFSForest, childOrder bool) {
+	t.Helper()
+	if got.NumTasks() != want.NumTasks() {
+		t.Fatalf("%s: %d tasks, want %d", label, got.NumTasks(), want.NumTasks())
+	}
+	for ti := 0; ti < want.NumTasks(); ti++ {
+		w, o := want.Outcome(ti), got.Outcome(ti)
+		if o.Len() != w.Len() {
+			t.Fatalf("%s: task %d visited %d nodes, want %d", label, ti, o.Len(), w.Len())
+		}
+		for i := 0; i < w.Len(); i++ {
+			if o.Node(i) != w.Node(i) || o.DistAt(i) != w.DistAt(i) || o.ParentArcAt(i) != w.ParentArcAt(i) {
+				t.Fatalf("%s: task %d visit %d = (%d,%d,%d), want (%d,%d,%d)", label, ti, i,
+					o.Node(i), o.DistAt(i), o.ParentArcAt(i), w.Node(i), w.DistAt(i), w.ParentArcAt(i))
+			}
+			wk, ok := w.ChildArcsAt(i), o.ChildArcsAt(i)
+			if len(wk) != len(ok) {
+				t.Fatalf("%s: task %d node %d has %d children, want %d", label, ti, w.Node(i), len(ok), len(wk))
+			}
+			if childOrder {
+				for j := range wk {
+					if wk[j] != ok[j] {
+						t.Fatalf("%s: task %d node %d child %d = arc %d, want %d", label, ti, w.Node(i), j, ok[j], wk[j])
+					}
+				}
+				continue
+			}
+			ws := append([]int32(nil), wk...)
+			os := append([]int32(nil), ok...)
+			sort.Slice(ws, func(a, b int) bool { return ws[a] < ws[b] })
+			sort.Slice(os, func(a, b int) bool { return os[a] < os[b] })
+			for j := range ws {
+				if ws[j] != os[j] {
+					t.Fatalf("%s: task %d node %d child sets differ", label, ti, w.Node(i))
+				}
+			}
+		}
+	}
+}
+
+// TestBitKernelMatchesScalarOnTrees pins the serving-regime equivalence:
+// on tree-restricted batches the bit kernel reproduces the scalar kernel's
+// visits, distances, and parent arcs exactly — across graph families, batch
+// sizes spanning the 64-source word boundary (1, 63, 64, 65 and the
+// multi-wave 130/512), worker counts, and scalar delay randomization — while
+// never delivering more word tokens than the scalar kernel delivers scalar
+// tokens.
+func TestBitKernelMatchesScalarOnTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var scalar, bit Runner
+	for name, g := range bitFamilies(t) {
+		allowed := treeFilter(g)
+		for _, batch := range []int{1, 2, 63, 64, 65, 130, 512} {
+			tasks := mkBatch(g, batch, allowed, true, rng)
+			want, wantStats, err := scalar.ParallelBFS(g, tasks,
+				Options{MaxDelay: batch, Rng: rand.New(rand.NewSource(17))})
+			if err != nil {
+				t.Fatalf("%s/b=%d: scalar: %v", name, batch, err)
+			}
+			for _, workers := range equivWorkers {
+				label := fmt.Sprintf("%s/b=%d/workers=%d", name, batch, workers)
+				got, stats, err := bit.ParallelBFSBit(g, tasks, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s: bit: %v", label, err)
+				}
+				compareForests(t, label, want, got, false)
+				if stats.Messages > wantStats.Messages {
+					t.Fatalf("%s: bit kernel delivered %d word tokens, scalar only %d tokens",
+						label, stats.Messages, wantStats.Messages)
+				}
+				if stats.MaxQueue > 1 {
+					t.Fatalf("%s: merged queues must never backlog, got MaxQueue=%d", label, stats.MaxQueue)
+				}
+			}
+		}
+	}
+}
+
+// TestBitKernelSingleTaskFullIdentity pins batch=1 on *general* graphs: with
+// no delays there are no congestion ties, so the bit kernel must reproduce
+// the scalar forest completely — including child arrival order.
+func TestBitKernelSingleTaskFullIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var scalar, bit Runner
+	for name, g := range bitFamilies(t) {
+		for trial := 0; trial < 3; trial++ {
+			tasks := []BFSTask{{Root: graph.NodeID(rng.Intn(g.NumNodes())), DepthLimit: -1}}
+			want, _, err := scalar.ParallelBFS(g, tasks, Options{})
+			if err != nil {
+				t.Fatalf("%s: scalar: %v", name, err)
+			}
+			for _, workers := range []int{0, 3, -1} {
+				label := fmt.Sprintf("%s/trial=%d/workers=%d", name, trial, workers)
+				got, _, err := bit.ParallelBFSBit(g, tasks, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s: bit: %v", label, err)
+				}
+				compareForests(t, label, want, got, true)
+			}
+		}
+	}
+}
+
+// TestBitKernelSelfConsistency pins the kernel against itself on general
+// graphs (shared edge filter, mixed depth limits, multi-wave batches):
+// forests AND Stats must be bit-identical across worker counts, the forced
+// sharded round path, and the forced sparse state representation.
+func TestBitKernelSelfConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var base, other Runner
+	for name, g := range bitFamilies(t) {
+		shared := func(_ int32, _, _ graph.NodeID, e graph.EdgeID) bool { return e%3 != 0 }
+		for _, batch := range []int{65, 130} {
+			tasks := mkBatch(g, batch, shared, true, rng)
+			want, wantStats, err := base.ParallelBFSBit(g, tasks, Options{})
+			if err != nil {
+				t.Fatalf("%s/b=%d: base: %v", name, batch, err)
+			}
+			check := func(label string, workers int) {
+				t.Helper()
+				got, stats, err := other.ParallelBFSBit(g, tasks, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if stats != wantStats {
+					t.Fatalf("%s: stats %+v, want %+v", label, stats, wantStats)
+				}
+				compareForests(t, label, want, got, true)
+			}
+			for _, workers := range []int{1, 2, 8, -1} {
+				check(fmt.Sprintf("%s/b=%d/workers=%d", name, batch, workers), workers)
+			}
+			func() {
+				old := shardedRoundMin
+				shardedRoundMin = 0
+				defer func() { shardedRoundMin = old }()
+				check(fmt.Sprintf("%s/b=%d/sharded", name, batch), 3)
+			}()
+			func() {
+				old := denseStateLimit
+				denseStateLimit = 0
+				defer func() { denseStateLimit = old }()
+				check(fmt.Sprintf("%s/b=%d/sparse", name, batch), 2)
+			}()
+		}
+	}
+}
+
+// TestBitKernelPathStats pins the kernel's exact cost model on a hand-traced
+// instance: one source at the end of a 5-path. The frontier crosses 4
+// forward arcs; each visited node sends one word back (notification merged
+// with the rejected reverse expansion — the OR-merge at work), so 8 word
+// tokens in depth+1 rounds with no arc ever carrying more than one word.
+func TestBitKernelPathStats(t *testing.T) {
+	g, err := graph.FromEdges(5, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Runner
+	f, stats, err := r.ParallelBFSBit(g, []BFSTask{{Root: 0, DepthLimit: -1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Stats{Rounds: 5, Messages: 8, MaxArcLoad: 1, MaxQueue: 1}
+	if stats != want {
+		t.Fatalf("stats %+v, want %+v", stats, want)
+	}
+	o := f.Outcome(0)
+	if o.Len() != 5 {
+		t.Fatalf("visited %d nodes, want 5", o.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if o.Node(i) != graph.NodeID(i) || o.DistAt(i) != int32(i) {
+			t.Fatalf("visit %d = (%d, dist %d), want (%d, dist %d)", i, o.Node(i), o.DistAt(i), i, i)
+		}
+	}
+}
+
+// TestBitKernelRejectsDelay pins the level-synchronization guard.
+func TestBitKernelRejectsDelay(t *testing.T) {
+	g := gen.Star(8)
+	var r Runner
+	_, _, err := r.ParallelBFSBit(g, []BFSTask{{Root: 0, DepthLimit: -1}},
+		Options{MaxDelay: 3, Rng: rand.New(rand.NewSource(1))})
+	if err == nil {
+		t.Fatal("MaxDelay > 0 must be rejected")
+	}
+}
+
+// TestBitKernelEmptyBatch pins the degenerate case.
+func TestBitKernelEmptyBatch(t *testing.T) {
+	g := gen.Star(8)
+	var r Runner
+	f, stats, err := r.ParallelBFSBit(g, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumTasks() != 0 || stats != (Stats{}) {
+		t.Fatalf("empty batch: %d tasks, stats %+v", f.NumTasks(), stats)
+	}
+}
+
+// TestBitKernelRunnerInterleaving pins that one Runner can interleave scalar
+// and bit executions without cross-contamination (the serving executor does
+// exactly this when batches alternate with ineligible runs).
+func TestBitKernelRunnerInterleaving(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g, err := gen.ClusterChain(200, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := treeFilter(g)
+	tasks := mkBatch(g, 70, allowed, false, rng)
+
+	var fresh Runner
+	want, wantStats, err := fresh.ParallelBFSBit(g, tasks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mixed Runner
+	for round := 0; round < 3; round++ {
+		if _, _, err := mixed.ParallelBFS(g, tasks[:7],
+			Options{MaxDelay: 7, Rng: rand.New(rand.NewSource(int64(round)))}); err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := mixed.ParallelBFSBit(g, tasks, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats != wantStats {
+			t.Fatalf("round %d: stats %+v, want %+v", round, stats, wantStats)
+		}
+		compareForests(t, fmt.Sprintf("interleaved/round=%d", round), want, got, true)
+	}
+}

@@ -1,0 +1,405 @@
+package sched
+
+// Streaming-mode (Options.ParcInto) property tests: a streaming run must
+// mark exactly the visits a forest-materializing run records — the same
+// (task, node) set, with each cell holding the parent arc — while leaving
+// the destination forest with empty outcomes and a strictly smaller message
+// schedule (no child-notification traffic).
+//
+// Scope: the bit kernel streams the same visited sets and depths as its
+// forest mode on every graph (notify words never delay visit words — all
+// same-arc words OR-merge into one slot), but dropping notify/echo words
+// changes intra-round delivery order, so an equal-depth parent tie on a
+// general graph may resolve to a different — still valid — parent arc; the
+// test checks parent validity there and exact equality on trees, where the
+// unique path forces everything. The scalar kernel's notify tokens share
+// FIFO queues with visit tokens, so dropping them can shift arrival timing;
+// its streaming runs are compared on forest-restricted runs only.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+const parcUnvisited = int32(-2) // test-side sentinel; the kernels never write it
+
+// parcScratch returns a sentinel-prefilled streaming destination.
+func parcScratch(numTasks, n int) []int32 {
+	p := make([]int32, numTasks*n)
+	for i := range p {
+		p[i] = parcUnvisited
+	}
+	return p
+}
+
+// forestDists flattens f into a task-major dist array (-1 = unvisited).
+func forestDists(f *BFSForest, numTasks, n int) []int32 {
+	d := make([]int32, numTasks*n)
+	for i := range d {
+		d[i] = -1
+	}
+	for ti := 0; ti < numTasks; ti++ {
+		o := f.Outcome(ti)
+		for j := 0; j < o.Len(); j++ {
+			d[ti*n+int(o.Node(j))] = o.DistAt(j)
+		}
+	}
+	return d
+}
+
+// checkParcs verifies the streamed parent arcs cover forest want exactly:
+// same (task, node) set and — with exactParc — the same parent arcs.
+// Without exactParc (general graphs, where equal-depth ties exist) each
+// streamed parent must still be a valid BFS parent: an arc into the node
+// from a node the same task visited at depth-1.
+func checkParcs(t *testing.T, label string, g *graph.Graph, want *BFSForest, parcs []int32, numTasks int, exactParc bool) {
+	t.Helper()
+	n := g.NumNodes()
+	wd := forestDists(want, numTasks, n)
+	total := 0
+	for ti := 0; ti < numTasks; ti++ {
+		o := want.Outcome(ti)
+		total += o.Len()
+		for j := 0; j < o.Len(); j++ {
+			v := o.Node(j)
+			i := ti*n + int(v)
+			p := parcs[i]
+			if p == parcUnvisited {
+				t.Fatalf("%s: task %d node %d in forest but never streamed", label, ti, v)
+			}
+			switch {
+			case exactParc:
+				if p != o.ParentArcAt(j) {
+					t.Fatalf("%s: task %d node %d streamed parc %d, forest %d",
+						label, ti, v, p, o.ParentArcAt(j))
+				}
+			case p < 0:
+				if o.ParentArcAt(j) >= 0 {
+					t.Fatalf("%s: task %d node %d streamed as root, forest parc %d",
+						label, ti, v, o.ParentArcAt(j))
+				}
+			default:
+				u := g.ArcTail(p)
+				if g.ArcTarget(p) != v || wd[ti*n+int(u)] != wd[i]-1 {
+					t.Fatalf("%s: task %d node %d streamed invalid parent arc %d (tail %d)",
+						label, ti, v, p, u)
+				}
+			}
+		}
+	}
+	streamed := 0
+	for _, p := range parcs {
+		if p != parcUnvisited {
+			streamed++
+		}
+	}
+	if streamed != total {
+		t.Fatalf("%s: %d cells streamed, forest holds %d visits", label, streamed, total)
+	}
+}
+
+func checkEmptyForest(t *testing.T, label string, f *BFSForest, numTasks int) {
+	t.Helper()
+	if f.NumTasks() != numTasks {
+		t.Fatalf("%s: streaming forest has %d tasks, want %d", label, f.NumTasks(), numTasks)
+	}
+	for ti := 0; ti < numTasks; ti++ {
+		if l := f.Outcome(ti).Len(); l != 0 {
+			t.Fatalf("%s: streaming forest task %d holds %d visits, want 0", label, ti, l)
+		}
+	}
+}
+
+// TestStreamingBitMatchesForest pins the bit kernel's streaming mode against
+// its forest mode on general graphs and tree-restricted runs, across the
+// 64-task word boundary and worker counts.
+func TestStreamingBitMatchesForest(t *testing.T) {
+	for name, g := range bitFamilies(t) {
+		filters := map[string]graph.ArcFilter{"all": nil, "tree": treeFilter(g)}
+		for fname, allowed := range filters {
+			for _, batch := range []int{1, 64, 65, 130} {
+				rng := rand.New(rand.NewSource(int64(batch) * 77))
+				tasks := mkBatch(g, batch, allowed, true, rng)
+				var ref Runner
+				want, wantStats, err := ref.ParallelBFSBit(g, tasks, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{0, 3, -1} {
+					label := fmt.Sprintf("%s/%s batch=%d workers=%d", name, fname, batch, workers)
+					parcs := parcScratch(batch, g.NumNodes())
+					var r Runner
+					var f BFSForest
+					stats, err := r.ParallelBFSBitInto(&f, g, tasks, Options{Workers: workers, ParcInto: parcs})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					checkParcs(t, label, g, want, parcs, batch, fname == "tree")
+					checkEmptyForest(t, label, &f, batch)
+					if stats.Messages >= wantStats.Messages {
+						t.Fatalf("%s: streaming delivered %d messages, forest mode %d — notify/echo traffic not dropped",
+							label, stats.Messages, wantStats.Messages)
+					}
+					if stats.Rounds > wantStats.Rounds {
+						t.Fatalf("%s: streaming took %d rounds, forest mode %d", label, stats.Rounds, wantStats.Rounds)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingScalarMatchesForest pins the scalar kernel's streaming mode on
+// the serving regime: tree-restricted runs under per-batch random delays,
+// where visited sets and parent arcs are forced.
+func TestStreamingScalarMatchesForest(t *testing.T) {
+	for name, g := range bitFamilies(t) {
+		allowed := treeFilter(g)
+		for _, batch := range []int{1, 64, 130} {
+			rng := rand.New(rand.NewSource(int64(batch) * 79))
+			tasks := mkBatch(g, batch, allowed, false, rng)
+			var ref Runner
+			want, _, err := ref.ParallelBFS(g, tasks, Options{MaxDelay: batch, Rng: rand.New(rand.NewSource(5))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 3} {
+				label := fmt.Sprintf("%s batch=%d workers=%d", name, batch, workers)
+				parcs := parcScratch(batch, g.NumNodes())
+				var r Runner
+				var f BFSForest
+				_, err := r.ParallelBFSInto(&f, g, tasks, Options{
+					MaxDelay: batch, Rng: rand.New(rand.NewSource(5)),
+					Workers: workers, ParcInto: parcs,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				checkParcs(t, label, g, want, parcs, batch, true)
+				checkEmptyForest(t, label, &f, batch)
+			}
+		}
+	}
+}
+
+// TestStreamingSparseState forces the sparse membership representation under
+// streaming for both kernels.
+func TestStreamingSparseState(t *testing.T) {
+	old := denseStateLimit
+	denseStateLimit = 0
+	defer func() { denseStateLimit = old }()
+
+	for name, g := range bitFamilies(t) {
+		allowed := treeFilter(g)
+		tasks := mkBatch(g, 70, allowed, false, rand.New(rand.NewSource(81)))
+		var ref Runner
+		want, _, err := ref.ParallelBFSBit(g, tasks, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parcs := parcScratch(len(tasks), g.NumNodes())
+		var r Runner
+		var f BFSForest
+		if _, err := r.ParallelBFSBitInto(&f, g, tasks, Options{ParcInto: parcs}); err != nil {
+			t.Fatal(err)
+		}
+		checkParcs(t, name+"/bit-sparse", g, want, parcs, len(tasks), true)
+
+		sparcs := parcScratch(len(tasks), g.NumNodes())
+		var rs Runner
+		if _, err := rs.ParallelBFSInto(&f, g, tasks, Options{
+			MaxDelay: len(tasks), Rng: rand.New(rand.NewSource(5)), ParcInto: sparcs,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		checkParcs(t, name+"/scalar-sparse", g, want, sparcs, len(tasks), true)
+	}
+}
+
+// replayOrder reconstructs a parc matrix from the ordered visit log,
+// verifying the replay invariants along the way: entries decode to valid
+// (task, arc) pairs, every non-root entry's parent was logged earlier by the
+// same task, and no (task, node) pair is logged twice.
+func replayOrder(t *testing.T, label string, g *graph.Graph, tasks []BFSTask, order []int64, nvisits int) []int32 {
+	t.Helper()
+	n := g.NumNodes()
+	parcs := parcScratch(len(tasks), n)
+	for i, e := range order[:nvisits] {
+		ti := int(e >> 32)
+		if ti < 0 || ti >= len(tasks) {
+			t.Fatalf("%s: entry %d decodes to task %d of %d", label, i, ti, len(tasks))
+		}
+		p := int32(uint32(e))
+		var v graph.NodeID
+		if p < 0 {
+			v = tasks[ti].Root
+		} else {
+			v = g.ArcTarget(p)
+			if parcs[ti*n+int(g.ArcTail(p))] == parcUnvisited {
+				t.Fatalf("%s: entry %d visits task %d node %d before its parent %d",
+					label, i, ti, v, g.ArcTail(p))
+			}
+		}
+		if parcs[ti*n+int(v)] != parcUnvisited {
+			t.Fatalf("%s: entry %d re-visits task %d node %d", label, i, ti, v)
+		}
+		parcs[ti*n+int(v)] = p
+	}
+	return parcs
+}
+
+// forestVisits counts the total visits a forest records across all tasks.
+func forestVisits(f *BFSForest, numTasks int) int {
+	total := 0
+	for ti := 0; ti < numTasks; ti++ {
+		total += f.Outcome(ti).Len()
+	}
+	return total
+}
+
+// TestVisitOrderBit pins the bit kernel's sequential ordered-visit log: one
+// entry per forest visit, parents before children, replaying to the exact
+// streamed parc matrix — while the ParcInto cells themselves stay untouched.
+func TestVisitOrderBit(t *testing.T) {
+	for name, g := range bitFamilies(t) {
+		filters := map[string]graph.ArcFilter{"all": nil, "tree": treeFilter(g)}
+		for fname, allowed := range filters {
+			for _, batch := range []int{1, 64, 130} { // 130 spans three waves
+				label := fmt.Sprintf("%s/%s batch=%d", name, fname, batch)
+				rng := rand.New(rand.NewSource(int64(batch) * 83))
+				tasks := mkBatch(g, batch, allowed, true, rng)
+				var ref Runner
+				want, _, err := ref.ParallelBFSBit(g, tasks, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				parcs := parcScratch(batch, g.NumNodes())
+				order := make([]int64, batch*g.NumNodes())
+				var r Runner
+				var f BFSForest
+				stats, err := r.ParallelBFSBitInto(&f, g, tasks, Options{ParcInto: parcs, VisitOrder: order})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if total := forestVisits(want, batch); stats.OrderedVisits != total {
+					t.Fatalf("%s: logged %d visits, forest holds %d", label, stats.OrderedVisits, total)
+				}
+				for i, p := range parcs {
+					if p != parcUnvisited {
+						t.Fatalf("%s: parc cell %d written (%d) while the log was recorded", label, i, p)
+					}
+				}
+				replayed := replayOrder(t, label, g, tasks, order, stats.OrderedVisits)
+				checkParcs(t, label, g, want, replayed, batch, fname == "tree")
+				checkEmptyForest(t, label, &f, batch)
+			}
+		}
+	}
+}
+
+// TestVisitOrderScalar pins the scalar kernel's sequential ordered-visit log
+// on the serving regime (tree-restricted, per-batch random delays).
+func TestVisitOrderScalar(t *testing.T) {
+	for name, g := range bitFamilies(t) {
+		allowed := treeFilter(g)
+		for _, batch := range []int{1, 64, 130} {
+			label := fmt.Sprintf("%s batch=%d", name, batch)
+			rng := rand.New(rand.NewSource(int64(batch) * 89))
+			tasks := mkBatch(g, batch, allowed, false, rng)
+			var ref Runner
+			want, _, err := ref.ParallelBFS(g, tasks, Options{MaxDelay: batch, Rng: rand.New(rand.NewSource(5))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parcs := parcScratch(batch, g.NumNodes())
+			order := make([]int64, batch*g.NumNodes())
+			var r Runner
+			var f BFSForest
+			stats, err := r.ParallelBFSInto(&f, g, tasks, Options{
+				MaxDelay: batch, Rng: rand.New(rand.NewSource(5)),
+				ParcInto: parcs, VisitOrder: order,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if total := forestVisits(want, batch); stats.OrderedVisits != total {
+				t.Fatalf("%s: logged %d visits, forest holds %d", label, stats.OrderedVisits, total)
+			}
+			for i, p := range parcs {
+				if p != parcUnvisited {
+					t.Fatalf("%s: parc cell %d written (%d) while the log was recorded", label, i, p)
+				}
+			}
+			replayed := replayOrder(t, label, g, tasks, order, stats.OrderedVisits)
+			checkParcs(t, label, g, want, replayed, batch, true)
+			checkEmptyForest(t, label, &f, batch)
+		}
+	}
+}
+
+// TestVisitOrderParallelFallback pins the parallel-drain behavior: with
+// Workers > 1 the log is left untouched, the parc matrix is written as usual,
+// and OrderedVisits reports -1.
+func TestVisitOrderParallelFallback(t *testing.T) {
+	for name, g := range bitFamilies(t) {
+		allowed := treeFilter(g)
+		tasks := mkBatch(g, 64, allowed, true, rand.New(rand.NewSource(91)))
+		var ref Runner
+		want, _, err := ref.ParallelBFSBit(g, tasks, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parcs := parcScratch(64, g.NumNodes())
+		order := make([]int64, 64*g.NumNodes())
+		for i := range order {
+			order[i] = -7 // sentinel: the parallel drain must not touch the log
+		}
+		var r Runner
+		var f BFSForest
+		stats, err := r.ParallelBFSBitInto(&f, g, tasks, Options{Workers: 3, ParcInto: parcs, VisitOrder: order})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if stats.OrderedVisits != -1 {
+			t.Fatalf("%s: parallel drain reported OrderedVisits %d, want -1", name, stats.OrderedVisits)
+		}
+		for i, e := range order {
+			if e != -7 {
+				t.Fatalf("%s: parallel drain wrote log entry %d (%d)", name, i, e)
+			}
+		}
+		checkParcs(t, name, g, want, parcs, 64, true)
+	}
+}
+
+// TestStreamingParcIntoTooShort pins the capacity validation of both kernels.
+func TestStreamingParcIntoTooShort(t *testing.T) {
+	g := gen.Path(8)
+	tasks := []BFSTask{{Root: 0, DepthLimit: -1}, {Root: 3, DepthLimit: -1}}
+	short := make([]int32, g.NumNodes()) // one row, two tasks
+	var r Runner
+	var f BFSForest
+	if _, err := r.ParallelBFSBitInto(&f, g, tasks, Options{ParcInto: short}); err == nil {
+		t.Fatal("bit kernel accepted an undersized ParcInto")
+	}
+	if _, err := r.ParallelBFSInto(&f, g, tasks, Options{ParcInto: short}); err == nil {
+		t.Fatal("scalar kernel accepted an undersized ParcInto")
+	}
+	parcs := parcScratch(len(tasks), g.NumNodes())
+	shortLog := make([]int64, g.NumNodes()) // one row, two tasks
+	if _, err := r.ParallelBFSBitInto(&f, g, tasks, Options{ParcInto: parcs, VisitOrder: shortLog}); err == nil {
+		t.Fatal("bit kernel accepted an undersized VisitOrder")
+	}
+	if _, err := r.ParallelBFSInto(&f, g, tasks, Options{ParcInto: parcs, VisitOrder: shortLog}); err == nil {
+		t.Fatal("scalar kernel accepted an undersized VisitOrder")
+	}
+	// The length rule holds regardless of worker count — a parallel drain
+	// ignores the log, but capacity errors must not depend on scheduling.
+	if _, err := r.ParallelBFSBitInto(&f, g, tasks, Options{Workers: 3, ParcInto: parcs, VisitOrder: shortLog}); err == nil {
+		t.Fatal("bit kernel accepted an undersized VisitOrder under a parallel drain")
+	}
+}

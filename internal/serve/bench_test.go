@@ -3,6 +3,7 @@ package serve_test
 import (
 	"context"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -103,6 +104,74 @@ func BenchmarkServeSSSPBatch32(b *testing.B) {
 		if _, err := fx.srv.ServeBatch(queries); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeSSSPWarmBatchInto is the allocation-free warm batch path on
+// the bit-parallel kernel: 64 sources per call — exactly one frontier word —
+// coalesced and answered by one scheduled execution. CI's benchmark smoke
+// asserts 0 allocs/op on it.
+func BenchmarkServeSSSPWarmBatchInto(b *testing.B) {
+	fx := getBenchFixture(b, 10_000)
+	srv := serve.NewServer(fx.snap, serve.ServerOptions{Executors: 1})
+	const batch = 64
+	srcs := make([]graph.NodeID, batch)
+	for i := range srcs {
+		srcs[i] = graph.NodeID(i * 131 % fx.g.NumNodes())
+	}
+	var dst [][]float64
+	var err error
+	if dst, err = srv.ServeSSSPBatchInto(dst, srcs); err != nil { // warm the executor
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = srv.ServeSSSPBatchInto(dst, srcs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkServeBatch is the bit-parallel tentpole's acceptance measurement
+// on ClusterChain n=1e5: the warm same-tree SSSP batch path at batch size
+// 64, bit-parallel kernel vs the scalar random-delay kernel (run explicitly
+// with -benchtime; the fixture build itself takes ~25 s). The bit arm packs
+// the whole batch into one frontier word per arc and must stay at
+// 0 allocs/op; the scalar arm pays per-task token traffic plus the
+// per-batch delay randomization. Recorded runs live in BENCH_serving.json
+// and the README serving-throughput note.
+func BenchmarkServeBatch(b *testing.B) {
+	fx := getBenchFixture(b, 100_000)
+	const batch = 64
+	srcs := make([]graph.NodeID, batch)
+	for i := range srcs {
+		srcs[i] = graph.NodeID(i * 1549 % fx.g.NumNodes())
+	}
+	for _, kernel := range []struct {
+		name    string
+		disable bool
+	}{{"bitparallel-64", false}, {"scalar-64", true}} {
+		b.Run(kernel.name, func(b *testing.B) {
+			srv := serve.NewServer(fx.snap, serve.ServerOptions{Executors: 1, DisableBitParallel: kernel.disable})
+			var dst [][]float64
+			var err error
+			if dst, err = srv.ServeSSSPBatchInto(dst, srcs); err != nil { // warm the executor
+				b.Fatal(err)
+			}
+			// The fixture build leaves tens of GB of garbage behind; collect it
+			// now so GC pauses don't land inside the timed region.
+			runtime.GC()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dst, err = srv.ServeSSSPBatchInto(dst, srcs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
 	}
 }
 

@@ -173,9 +173,9 @@ func ApplyDelta(ctx context.Context, old *Snapshot, delta graph.Delta, opts Delt
 	if err != nil {
 		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "tree index: %w", err)
 	}
-	treeSet := graph.NewBitset(g2.NumEdges())
-	for _, e := range tree {
-		treeSet.Set(e)
+	treeG, treeArcW, err := treeExecGraph(g2, w2, tree)
+	if err != nil {
+		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "tree subgraph: %w", err)
 	}
 	servRounds, servMessages := sssp.TreeServeCost(g2.NumNodes(), old.qualitySum, len(tree))
 
@@ -190,7 +190,8 @@ func ApplyDelta(ctx context.Context, old *Snapshot, delta graph.Delta, opts Delt
 		partDil:        partDil,
 		tree:           tree,
 		treeWeight:     treeWeight,
-		treeSet:        treeSet,
+		treeG:          treeG,
+		treeArcW:       treeArcW,
 		ti:             ti,
 		diameter:       old.diameter,
 		logFactor:      old.logFactor,

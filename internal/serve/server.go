@@ -27,6 +27,12 @@ type ServerOptions struct {
 	// depends only on (snapshot, Seed, query), never on which executor runs
 	// it or what runs concurrently. 0 selects 1.
 	Seed int64
+	// DisableBitParallel forces batched SSSP groups onto the scalar
+	// random-delay kernel even when the snapshot tree is eligible for the
+	// bit-parallel fast path (see batch.go). Distances are identical either
+	// way — the knob exists for benchmarking the kernels against each other
+	// and as an escape hatch.
+	DisableBitParallel bool
 }
 
 // Server answers typed queries from a pool of reusable executor contexts,
@@ -61,8 +67,25 @@ type executor struct {
 	treeScratch sssp.TreeScratch // warm SSSP walk buffers
 	runner      sched.Runner     // batched scheduled executions
 	forest      sched.BFSForest
-	hopOrder    []int32 // batch extraction: visit indices by hop
-	hopCount    []int32
+
+	// Batch-group scratch (see batch.go): the coalesced task list, the
+	// query-slot→task mapping, the per-root dedup marks (all-zero outside an
+	// active group run), the streaming parent-arc matrix and sequential
+	// visit log handed to the kernels (both task-major capacity,
+	// numTasks·NumNodes), and the chain stack of the distance-resolution
+	// fallback. All grow to the pinned snapshot's graph and are reused —
+	// the warm batch path allocates nothing, across any number of epoch
+	// swaps.
+	batchTasks []sched.BFSTask
+	taskOf     []int32
+	taskSlot   []int32
+	rootMark   []int32
+	batchSrcs  []graph.NodeID
+	batchDists [][]float64
+	taskRows   [][]float64 // task→output row, for the log replay; re-nilled after use
+	parcs      []int32
+	order      []int64
+	pstack     []int32
 }
 
 // lease is one checked-out execution context: the executor plus the
