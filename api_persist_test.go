@@ -1,0 +1,122 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+// TestPersistFacade exercises the save/load surface end to end through the
+// public API: SaveSnapshot → LoadSnapshotCtx under each option combination
+// must reproduce bit-identical answers, WriteSnapshot/ReadSnapshot must
+// round-trip the same bytes streamwise, SwapSnapshotFromFileCtx must ship
+// the file into a live store and reject a replay, and a canceled load must
+// return the context error. (The exhaustive per-query-family differential
+// coverage lives in internal/serve.)
+func TestPersistFacade(t *testing.T) {
+	fx := makeV2Fixture(t)
+	ctx := context.Background()
+	snap, err := repro.NewSnapshotCtx(ctx, fx.g, fx.w, fx.parts,
+		repro.WithSeed(7), repro.WithDiameter(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := repro.NewServerV2(snap, repro.WithExecutors(1), repro.WithServerSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := srv.Serve(repro.SSSPQuery{Source: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "snap.lcsnap")
+	if err := repro.SaveSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(tag string, loaded *repro.Snapshot) {
+		t.Helper()
+		defer loaded.Close()
+		lsrv, err := repro.NewServerV2(loaded, repro.WithExecutors(1), repro.WithServerSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lsrv.Serve(repro.SSSPQuery{Source: 9})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: loaded snapshot answer differs", tag)
+		}
+	}
+
+	for _, tc := range []struct {
+		tag  string
+		opts []repro.Option
+	}{
+		{"default", nil},
+		{"heap", []repro.Option{repro.WithMmap(false)}},
+		{"noverify", []repro.Option{repro.WithSnapshotVerify(false)}},
+	} {
+		loaded, err := repro.LoadSnapshotCtx(ctx, path, tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.tag, err)
+		}
+		check(tc.tag, loaded)
+	}
+
+	var buf bytes.Buffer
+	if _, err := repro.WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := repro.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("stream", streamed)
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := repro.LoadSnapshotCtx(canceled, path); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled load: got %v", err)
+	}
+
+	// Shipping: a store serving the built snapshot accepts a file only when
+	// its generation advances the chain, so re-shipping the active
+	// generation is a rejected replay, while a repaired generation swaps in.
+	st := repro.NewStore(snap)
+	if _, err := repro.SwapSnapshotFromFileCtx(ctx, st, path); err == nil {
+		t.Error("replay of the active generation was accepted")
+	} else if repro.ErrorKindOf(err) != repro.KindInvalidInput {
+		t.Errorf("replay rejection: wrong kind: %v", err)
+	}
+	d, err := gen.InsertDelta(fx.g, 6, rngAt(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := repro.ApplyDeltaCtx(ctx, snap, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(t.TempDir(), "snap2.lcsnap")
+	if err := repro.SaveSnapshot(path2, next); err != nil {
+		t.Fatal(err)
+	}
+	retired, err := repro.SwapSnapshotFromFileCtx(ctx, st, path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retired != snap {
+		t.Error("swap retired the wrong snapshot")
+	}
+	if got := st.Snapshot().Generation(); got != next.Generation() {
+		t.Errorf("store generation %d, want %d", got, next.Generation())
+	}
+}

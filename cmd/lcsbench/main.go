@@ -59,6 +59,7 @@ func experiments() []experiment {
 		{"twoecss", "E13", "2-ECSS approximation (Corollary 4.3)", expt.E13TwoECSS},
 		{"serving", "E14", "serving layer throughput (snapshot + pooled executors)", expt.E14Serving},
 		{"dynamic", "E15", "incremental update latency vs delta size (part-local repair)", expt.E15Dynamic},
+		{"persistence", "E16", "snapshot persistence: zero-copy mmap cold start", expt.E16Persistence},
 		{"ablation-reps", "A1", "sampling repetitions ablation", expt.A1Repetitions},
 		{"ablation-sched", "A2", "random-delay ablation", expt.A2Scheduling},
 		{"ablation-det", "A4", "deterministic construction (open end)", expt.A4Deterministic},
@@ -88,6 +89,10 @@ func run(args []string, stdout io.Writer) error {
 		serveBatch = fs.String("serve-batches", "", "comma-separated batch sizes for E14")
 
 		deltaSizes = fs.String("delta", "", "comma-separated delta-size sweep for the E15 dynamic-update experiment (implies 'dynamic' when no experiment is named)")
+
+		snapshotOut  = fs.String("snapshot-out", "", "persist the built snapshot to this file (E14 after its build; E16 for its largest size), so later runs can -snapshot-in it")
+		snapshotIn   = fs.String("snapshot-in", "", "load the E14 serving snapshot from this file instead of building it (implies 'serving' when no experiment is named)")
+		persistSizes = fs.String("persist-sizes", "", "comma-separated n sweep for the E16 persistence experiment (implies 'persistence' when no experiment is named)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: lcsbench [flags] <experiment>")
@@ -111,6 +116,10 @@ func run(args []string, stdout io.Writer) error {
 		target = "serving"
 	case fs.NArg() == 0 && *deltaSizes != "":
 		target = "dynamic"
+	case fs.NArg() == 0 && *snapshotIn != "":
+		target = "serving"
+	case fs.NArg() == 0 && *persistSizes != "":
+		target = "persistence"
 	default:
 		fs.Usage()
 		return fmt.Errorf("expected exactly one experiment name (or -serve / -delta)")
@@ -127,6 +136,8 @@ func run(args []string, stdout io.Writer) error {
 		LogFactor:    *logFactor,
 		Quick:        *quick,
 		ServeQueries: *serveQ,
+		SnapshotIn:   *snapshotIn,
+		SnapshotOut:  *snapshotOut,
 		Ctx:          ctx,
 	}
 	var err error
@@ -150,6 +161,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if cfg.DeltaSizes, err = parseInts(*deltaSizes); err != nil {
 		return fmt.Errorf("-delta: %w", err)
+	}
+	if cfg.PersistSizes, err = parseInts(*persistSizes); err != nil {
+		return fmt.Errorf("-persist-sizes: %w", err)
 	}
 
 	var selected []experiment

@@ -225,3 +225,55 @@ func TestTimeoutGenerous(t *testing.T) {
 		t.Errorf("run carries no cost: %+v", env.Run.Cost)
 	}
 }
+
+// TestPersistenceSweepJSON drives the E16 persistence experiment at tiny
+// scale: one row per size, carrying the load timings and the cold-start
+// speedup, with the largest snapshot persisted to -snapshot-out.
+func TestPersistenceSweepJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.lcsnap")
+	env := runJSON(t, []string{
+		"-quick", "-json", "-persist-sizes", "300,500", "-snapshot-out", path,
+	})
+	if len(env.Tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(env.Tables))
+	}
+	tbl := env.Tables[0]
+	if !strings.Contains(tbl.Title, "E16") {
+		t.Fatalf("unexpected table: %q", tbl.Title)
+	}
+	if len(tbl.Rows) != 2 { // one row per size
+		t.Fatalf("want 2 sweep rows, got %d", len(tbl.Rows))
+	}
+	if _, ok := tbl.Meta["n500_load_mmap_ms"]; !ok {
+		t.Fatalf("missing load timing meta: %v", tbl.Meta)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("-snapshot-out not written: %v", err)
+	}
+
+	// Round trip: -snapshot-in serves E14 off the persisted file.
+	env = runJSON(t, []string{
+		"-quick", "-json", "-snapshot-in", path,
+		"-serve-queries", "8", "-serve-executors", "1", "-serve-batches", "1",
+	})
+	if len(env.Tables) != 1 || !strings.Contains(env.Tables[0].Title, "E14") {
+		t.Fatalf("-snapshot-in run: %+v", env.Tables)
+	}
+	found := false
+	for _, note := range env.Tables[0].Notes {
+		found = found || strings.Contains(note, "persisted snapshot")
+	}
+	if !found {
+		t.Fatalf("E14 notes do not mention the persisted snapshot: %v", env.Tables[0].Notes)
+	}
+}
+
+func TestPersistenceFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-persist-sizes", "x", "persistence"}, &out); err == nil {
+		t.Fatal("bad -persist-sizes accepted")
+	}
+	if err := run([]string{"-snapshot-in", "/nonexistent/snap.lcsnap", "serving"}, &out); err == nil {
+		t.Fatal("missing -snapshot-in file accepted")
+	}
+}

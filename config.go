@@ -76,6 +76,12 @@ type Config struct {
 	// DilationCutoff bounds the exact per-part dilation computation in
 	// snapshot builds (0 = default 3000; negative = always exact).
 	DilationCutoff int
+	// NoMmap forces snapshot loads onto the portable heap read instead of
+	// the zero-copy mmap fast path; SkipSnapshotVerify skips checksum and
+	// structural verification on load (trusted artifacts only). Zero values
+	// are the defaults: mmap on, verification on.
+	NoMmap             bool
+	SkipSnapshotVerify bool
 
 	err error // first invalid option, reported by the entry point
 }
@@ -277,6 +283,19 @@ func WithBitParallel(on bool) Option {
 // WithDilationCutoff bounds the exact per-part dilation computation in
 // snapshot builds (negative = always exact).
 func WithDilationCutoff(n int) Option { return func(c *Config) { c.DilationCutoff = n } }
+
+// WithMmap toggles the zero-copy mmap fast path on snapshot loads (on by
+// default). Passing false forces the portable heap read — same snapshot,
+// no file mapping held open.
+func WithMmap(on bool) Option { return func(c *Config) { c.NoMmap = !on } }
+
+// WithSnapshotVerify toggles checksum and structural verification on
+// snapshot loads (on by default). Passing false skips the deep scans —
+// the fast path for artifacts this process just wrote; corrupt bytes then
+// surface as wrong answers rather than load errors.
+func WithSnapshotVerify(on bool) Option {
+	return func(c *Config) { c.SkipSnapshotVerify = !on }
+}
 
 // splitmix64 is the SplitMix64 finalizer — the derivation behind WithSeed
 // and the server's per-query randomness.

@@ -28,6 +28,7 @@ const (
 	KindBandwidth      = reproerr.KindBandwidth
 	KindCanceled       = reproerr.KindCanceled
 	KindDeadline       = reproerr.KindDeadline
+	KindCorrupt        = reproerr.KindCorrupt
 )
 
 // ErrorKindOf extracts the ErrorKind of the outermost *Error in err's

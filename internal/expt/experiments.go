@@ -42,6 +42,14 @@ type Config struct {
 	ServeBatches []int
 	// DeltaSizes is the delta-size sweep of E15 (nil = default).
 	DeltaSizes []int
+	// SnapshotIn, when set, makes E14 load its snapshot from this file
+	// instead of paying the cold build; SnapshotOut makes E14 (and E16, for
+	// its largest size) persist the built snapshot there, so a later run
+	// can skip construction entirely.
+	SnapshotIn  string
+	SnapshotOut string
+	// PersistSizes is the n sweep of E16 (nil = default).
+	PersistSizes []int
 	// Ctx, when non-nil, cancels the heavyweight simulated phases of an
 	// experiment cooperatively (lcsbench's -timeout flag threads it here);
 	// a canceled experiment returns a reproerr.KindCanceled/KindDeadline
@@ -116,6 +124,14 @@ func (c Config) WithDefaults() Config {
 			c.DeltaSizes = []int{1, 16}
 		} else {
 			c.DeltaSizes = []int{1, 16, 64, 256, 1024}
+		}
+	}
+	c.PersistSizes = positiveInts(c.PersistSizes)
+	if len(c.PersistSizes) == 0 {
+		if c.Quick {
+			c.PersistSizes = []int{600}
+		} else {
+			c.PersistSizes = []int{20_000, 100_000}
 		}
 	}
 	return c

@@ -1,0 +1,158 @@
+package graph
+
+import "fmt"
+
+// CSR is the raw array form of a Graph, exposed for zero-copy persistence
+// (internal/snapio). The fields are exactly the Graph internals; see the
+// Graph struct for the per-array invariants.
+type CSR struct {
+	Offsets   []int32  // len n+1
+	Neighbors []NodeID // len 2m
+	ArcEdge   []EdgeID // len 2m
+	ArcRev    []int32  // len 2m
+	ArcTail   []NodeID // len 2m
+	EdgeU     []NodeID // len m
+	EdgeV     []NodeID // len m
+}
+
+// CSR returns the graph's raw arrays as shared read-only slices. Callers
+// must not modify them — they are the live graph.
+func (g *Graph) CSR() CSR {
+	return CSR{
+		Offsets:   g.offsets,
+		Neighbors: g.neighbors,
+		ArcEdge:   g.arcEdge,
+		ArcRev:    g.arcRev,
+		ArcTail:   g.arcTail,
+		EdgeU:     g.edgeU,
+		EdgeV:     g.edgeV,
+	}
+}
+
+// FromCSR reassembles a Graph around c's arrays without copying them — the
+// arrays are aliased, which is what lets a persisted snapshot serve straight
+// out of a file mapping. The caller guarantees the arrays stay live and
+// unmodified for the life of the graph.
+//
+// Shape consistency (matching lengths, offsets bracketing) is always
+// checked. With deep set, every structural invariant the query paths rely
+// on is verified in O(n + m): monotone offsets, in-range sorted neighbor
+// lists (ArcBetween binary-searches them), the arcRev involution, arc/edge
+// endpoint agreement, and canonical u < v edge endpoints. Pass deep=false
+// only for arrays produced by CSR() on this build of the package.
+func FromCSR(c CSR, deep bool) (*Graph, error) {
+	if len(c.Offsets) < 1 {
+		return nil, fmt.Errorf("csr: offsets empty (need n+1 entries)")
+	}
+	n := len(c.Offsets) - 1
+	m := len(c.EdgeU)
+	arcs := len(c.Neighbors)
+	if arcs != 2*m {
+		return nil, fmt.Errorf("csr: %d arcs for %d edges (want 2m)", arcs, m)
+	}
+	if len(c.ArcEdge) != arcs || len(c.ArcRev) != arcs || len(c.ArcTail) != arcs {
+		return nil, fmt.Errorf("csr: arc table lengths %d/%d/%d, want %d",
+			len(c.ArcEdge), len(c.ArcRev), len(c.ArcTail), arcs)
+	}
+	if len(c.EdgeV) != m {
+		return nil, fmt.Errorf("csr: edgeV length %d, want %d", len(c.EdgeV), m)
+	}
+	if c.Offsets[0] != 0 {
+		return nil, fmt.Errorf("csr: offsets[0] = %d, want 0", c.Offsets[0])
+	}
+	if int(c.Offsets[n]) != arcs {
+		return nil, fmt.Errorf("csr: offsets[n] = %d, want arc count %d", c.Offsets[n], arcs)
+	}
+	g := &Graph{
+		offsets:   c.Offsets,
+		neighbors: c.Neighbors,
+		arcEdge:   c.ArcEdge,
+		arcRev:    c.ArcRev,
+		arcTail:   c.ArcTail,
+		edgeU:     c.EdgeU,
+		edgeV:     c.EdgeV,
+	}
+	if !deep {
+		return g, nil
+	}
+	if err := g.validateDeep(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// validateDeep runs the O(n + m) structural scan described at FromCSR. It
+// must reject every inconsistency that would otherwise surface as a panic
+// or silent wrong answer in a traversal — loading fuzzed snapshot bytes
+// funnels through here.
+func (g *Graph) validateDeep() error {
+	n := int32(g.NumNodes())
+	m := int32(g.NumEdges())
+	for u := int32(0); u < n; u++ {
+		lo, hi := g.offsets[u], g.offsets[u+1]
+		if lo > hi {
+			return fmt.Errorf("csr: offsets not monotone at node %d (%d > %d)", u, lo, hi)
+		}
+		prev := NodeID(-1)
+		for a := lo; a < hi; a++ {
+			v := g.neighbors[a]
+			if v < 0 || v >= n {
+				return fmt.Errorf("csr: arc %d: neighbor %d out of range [0,%d)", a, v, n)
+			}
+			if v == u {
+				return fmt.Errorf("csr: arc %d: self-loop at node %d", a, u)
+			}
+			if v <= prev {
+				return fmt.Errorf("csr: node %d: neighbor list not strictly increasing at arc %d", u, a)
+			}
+			prev = v
+			if g.arcTail[a] != u {
+				return fmt.Errorf("csr: arc %d: tail %d, want %d", a, g.arcTail[a], u)
+			}
+			e := g.arcEdge[a]
+			if e < 0 || e >= m {
+				return fmt.Errorf("csr: arc %d: edge %d out of range [0,%d)", a, e, m)
+			}
+			lu, lv := u, v
+			if lu > lv {
+				lu, lv = lv, lu
+			}
+			if g.edgeU[e] != lu || g.edgeV[e] != lv {
+				return fmt.Errorf("csr: arc %d: endpoints {%d,%d} disagree with edge %d = {%d,%d}",
+					a, lu, lv, e, g.edgeU[e], g.edgeV[e])
+			}
+			r := g.arcRev[a]
+			if r < 0 || int(r) >= len(g.neighbors) {
+				return fmt.Errorf("csr: arc %d: reverse %d out of range", a, r)
+			}
+			if r == a || g.arcRev[r] != a {
+				return fmt.Errorf("csr: arc %d: reverse table not an involution (rev=%d)", a, r)
+			}
+			if g.arcEdge[r] != e {
+				return fmt.Errorf("csr: arc %d: reverse arc %d on different edge (%d vs %d)",
+					a, r, g.arcEdge[r], e)
+			}
+		}
+	}
+	// Every edge must be realized by exactly two arcs (its two directions);
+	// the per-arc checks above don't rule out one edge absorbing another's
+	// arc pair.
+	cnt := make([]int8, m)
+	for _, e := range g.arcEdge {
+		if cnt[e] == 2 {
+			return fmt.Errorf("csr: edge %d appears on more than two arcs", e)
+		}
+		cnt[e]++
+	}
+	for e, c := range cnt {
+		if c != 2 {
+			return fmt.Errorf("csr: edge %d appears on %d arcs, want 2", e, c)
+		}
+	}
+	for e := int32(0); e < m; e++ {
+		if u, v := g.edgeU[e], g.edgeV[e]; u < 0 || v >= n || u >= v {
+			return fmt.Errorf("csr: edge %d: endpoints {%d,%d} not canonical (0 ≤ u < v < n)", e, u, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func csrFixture(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(5, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	g := csrFixture(t)
+	for _, deep := range []bool{false, true} {
+		h, err := FromCSR(g.CSR(), deep)
+		if err != nil {
+			t.Fatalf("FromCSR(deep=%v): %v", deep, err)
+		}
+		if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip: %v vs %v", h, g)
+		}
+		for u := NodeID(0); u < NodeID(g.NumNodes()); u++ {
+			gn, hn := g.Neighbors(u), h.Neighbors(u)
+			if len(gn) != len(hn) {
+				t.Fatalf("node %d: degree %d vs %d", u, len(hn), len(gn))
+			}
+			for i := range gn {
+				if gn[i] != hn[i] {
+					t.Fatalf("node %d: neighbors differ", u)
+				}
+			}
+		}
+		// Aliasing, not copying: FromCSR must reuse the arrays.
+		if &h.CSR().Offsets[0] != &g.CSR().Offsets[0] {
+			t.Fatal("FromCSR copied offsets")
+		}
+	}
+}
+
+// TestFromCSRRejects mutates each invariant in turn and checks the deep
+// validator names it. Shape errors must be caught even with deep=false.
+func TestFromCSRRejects(t *testing.T) {
+	fresh := func() CSR {
+		g := csrFixture(t)
+		c := g.CSR()
+		// Private copies so mutations don't leak between subtests.
+		return CSR{
+			Offsets:   append([]int32(nil), c.Offsets...),
+			Neighbors: append([]NodeID(nil), c.Neighbors...),
+			ArcEdge:   append([]EdgeID(nil), c.ArcEdge...),
+			ArcRev:    append([]int32(nil), c.ArcRev...),
+			ArcTail:   append([]NodeID(nil), c.ArcTail...),
+			EdgeU:     append([]NodeID(nil), c.EdgeU...),
+			EdgeV:     append([]NodeID(nil), c.EdgeV...),
+		}
+	}
+	shape := []struct {
+		name string
+		mut  func(*CSR)
+	}{
+		{"empty offsets", func(c *CSR) { c.Offsets = nil }},
+		{"truncated arcs", func(c *CSR) { c.Neighbors = c.Neighbors[:3] }},
+		{"arc table mismatch", func(c *CSR) { c.ArcRev = c.ArcRev[:3] }},
+		{"edgeV mismatch", func(c *CSR) { c.EdgeV = c.EdgeV[:2] }},
+		{"offsets[0] nonzero", func(c *CSR) { c.Offsets[0] = 1 }},
+		{"offsets[n] wrong", func(c *CSR) { c.Offsets[len(c.Offsets)-1]-- }},
+	}
+	for _, tc := range shape {
+		c := fresh()
+		tc.mut(&c)
+		if _, err := FromCSR(c, false); err == nil {
+			t.Errorf("%s: accepted with deep=false", tc.name)
+		}
+	}
+	deep := []struct {
+		name string
+		mut  func(*CSR)
+		want string
+	}{
+		{"non-monotone offsets", func(c *CSR) { c.Offsets[1] = -1; c.Offsets[2] = 0 }, "monotone"},
+		{"neighbor out of range", func(c *CSR) { c.Neighbors[0] = 99 }, "out of range"},
+		{"self-loop", func(c *CSR) { c.Neighbors[0] = c.ArcTail[0] }, "self-loop"},
+		{"duplicate neighbor", func(c *CSR) { c.Neighbors[1] = c.Neighbors[0] }, "strictly increasing"},
+		{"wrong tail", func(c *CSR) { c.ArcTail[0]++ }, "tail"},
+		{"edge out of range", func(c *CSR) { c.ArcEdge[0] = 99 }, "out of range"},
+		{"broken involution", func(c *CSR) { c.ArcRev[0] = 0 }, "involution"},
+		{"non-canonical edge", func(c *CSR) { c.EdgeU[0], c.EdgeV[0] = c.EdgeV[0], c.EdgeU[0] }, ""},
+	}
+	for _, tc := range deep {
+		c := fresh()
+		tc.mut(&c)
+		_, err := FromCSR(c, true)
+		if err == nil {
+			t.Errorf("%s: accepted with deep=true", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFromCSREmptyGraph(t *testing.T) {
+	g, err := FromCSR(CSR{Offsets: []int32{0}}, true)
+	if err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: %v", g)
+	}
+}

@@ -37,6 +37,10 @@ const (
 	// KindDeadline marks a run aborted by a context deadline; the Error
 	// wraps context.DeadlineExceeded.
 	KindDeadline
+	// KindCorrupt marks a persisted artifact (a snapshot file) that failed
+	// structural or checksum validation: truncated container, bad magic or
+	// section table, checksum mismatch, or cross-section inconsistency.
+	KindCorrupt
 )
 
 // String returns the kind's stable lowercase name.
@@ -52,6 +56,8 @@ func (k Kind) String() string {
 		return "canceled"
 	case KindDeadline:
 		return "deadline exceeded"
+	case KindCorrupt:
+		return "corrupt artifact"
 	}
 	return "unknown"
 }

@@ -3,6 +3,8 @@ package serve_test
 import (
 	"context"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -327,6 +329,91 @@ func BenchmarkServeSSSPWarmIntoCtx(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dst, err = srv.ServeSSSPIntoCtx(ctx, dst, graph.NodeID(i%fx.g.NumNodes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// persistBenchPath writes the n-node bench fixture's snapshot to a temp file
+// once per size and returns the path (cached alongside the fixture).
+var (
+	persistBenchMu    sync.Mutex
+	persistBenchPaths = map[int]string{}
+)
+
+func persistBenchPath(b *testing.B, n int) string {
+	b.Helper()
+	fx := getBenchFixture(b, n)
+	persistBenchMu.Lock()
+	defer persistBenchMu.Unlock()
+	if p, ok := persistBenchPaths[n]; ok {
+		return p
+	}
+	dir, err := os.MkdirTemp("", "lcsnap-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := filepath.Join(dir, "snap.lcsnap")
+	if err := serve.WriteSnapshotFile(p, fx.snap); err != nil {
+		b.Fatal(err)
+	}
+	persistBenchPaths[n] = p
+	return p
+}
+
+// BenchmarkLoadSnapshot is the cold-start measurement: opening a persisted
+// snapshot versus the ~seconds-scale NewSnapshot build it replaces. The mmap
+// arm is the zero-copy fast path (verification off measures pure open+slice;
+// on, the checksum+structural scan cost); the heap arm is the portable
+// fallback. Part of CI's benchmark smoke at n=10⁴; the recorded n=10⁵
+// numbers live in BENCH_serving.json and the README.
+func BenchmarkLoadSnapshot(b *testing.B) {
+	path := persistBenchPath(b, 10_000)
+	for _, arm := range []struct {
+		name string
+		opts serve.LoadOptions
+	}{
+		{"mmap", serve.LoadOptions{}},
+		{"mmap-noverify", serve.LoadOptions{SkipVerify: true}},
+		{"heap", serve.LoadOptions{NoMmap: true}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sn, err := serve.LoadSnapshot(path, arm.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sn.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeSSSPWarmIntoLoaded is BenchmarkServeSSSPWarmInto running
+// against a LoadSnapshot-mapped snapshot instead of the built one: the warm
+// query path over the file mapping must stay 0 allocs/op (CI's benchmark
+// smoke asserts it) and within noise of the in-memory path — persistence
+// costs a page fault on first touch, never a steady-state allocation.
+func BenchmarkServeSSSPWarmIntoLoaded(b *testing.B) {
+	fx := getBenchFixture(b, 10_000)
+	sn, err := serve.LoadSnapshot(persistBenchPath(b, 10_000), serve.LoadOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sn.Close()
+	srv := serve.NewServer(sn, serve.ServerOptions{Executors: 1})
+	dst := make([]float64, fx.g.NumNodes())
+	if dst, err = srv.ServeSSSPInto(dst, 0); err != nil { // warm the executor
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = srv.ServeSSSPInto(dst, graph.NodeID(i%fx.g.NumNodes()))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,844 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/reproerr"
+	"repro/internal/shortcut"
+	"repro/internal/snapio"
+	"repro/internal/sssp"
+)
+
+// Snapshot persistence: every Snapshot field is laid out as one snapio
+// section (raw little-endian array) or packed into the fixed meta record, so
+// Load rebuilds the serving state by slicing the file mapping — no parse, no
+// per-element allocation. See DESIGN.md "Snapshot persistence".
+//
+// Section IDs are part of the format: never renumber, only append.
+const (
+	secGraphOffsets   = 1 // []int32, n+1
+	secGraphNeighbors = 2 // []int32, 2m
+	secGraphArcEdge   = 3 // []int32, 2m
+	secGraphArcRev    = 4 // []int32, 2m
+	secGraphArcTail   = 5 // []int32, 2m
+	secGraphEdgeU     = 6 // []int32, m
+	secGraphEdgeV     = 7 // []int32, m
+	secWeights        = 8 // []float64, m
+
+	secPartOf      = 9  // []int32, n (node -> part, -1 outside)
+	secPartLeaders = 10 // []int32, ℓ
+	secPartOffsets = 11 // []int32, ℓ+1 (CSR offsets into secPartNodes)
+	secPartNodes   = 12 // []int32, Σ|Si|
+
+	secShortcutOffsets = 13 // []int32, ℓ+1 (CSR offsets into secShortcutEdges)
+	secShortcutEdges   = 14 // []int32, Σ|Hi|
+
+	secPartDil = 15 // []int32, 4ℓ: per part (congestion, dilLo, dilHi, exact)
+
+	secTree = 16 // []int32, t (shortcut-MST edge IDs into g)
+
+	secTreeGOffsets   = 17 // tree-only CSR subgraph, same layout as 1..7
+	secTreeGNeighbors = 18
+	secTreeGArcEdge   = 19
+	secTreeGArcRev    = 20
+	secTreeGArcTail   = 21
+	secTreeGEdgeU     = 22
+	secTreeGEdgeV     = 23
+	secTreeArcW       = 24 // []float64, 2t (per-arc weights of treeG)
+
+	secTreeIdxOff = 25 // []int32, n+1
+	secTreeIdxTo  = 26 // []int32, 2t
+	secTreeIdxWt  = 27 // []float64, 2t
+
+	secMeta          = 28 // fixed metaSize-byte record, see metaBytes
+	secRepairTouched = 29 // []int64, repaired-part indices (present iff repair != nil)
+)
+
+// metaSize is the exact byte length of the secMeta record.
+const metaSize = 219
+
+// metaBytes packs the scalar Snapshot state into the fixed meta record.
+// Field order is part of the format.
+func (sn *Snapshot) metaBytes() []byte {
+	b := make([]byte, 0, metaSize)
+	i64 := func(v int64) { b = binary.LittleEndian.AppendUint64(b, uint64(v)) }
+	f64 := func(v float64) { b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v)) }
+	i32 := func(v int32) { b = binary.LittleEndian.AppendUint32(b, uint32(v)) }
+	u8 := func(v bool) {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+
+	i64(int64(sn.quality.Congestion))
+	i32(sn.quality.DilationLo)
+	i32(sn.quality.DilationHi)
+	u8(sn.quality.Exact)
+	f64(sn.treeWeight)
+	i64(int64(sn.diameter))
+	f64(sn.logFactor)
+	i64(int64(sn.dilationCutoff))
+	i64(int64(sn.phases))
+	i64(int64(sn.qualitySum))
+	i64(int64(sn.servRounds))
+	i64(sn.servMessages)
+	i64(int64(sn.buildCost.Rounds))
+	i64(sn.buildCost.Messages)
+	i64(int64(sn.buildCost.SchedStats.Rounds))
+	i64(sn.buildCost.SchedStats.Messages)
+	i64(int64(sn.buildCost.SchedStats.MaxArcLoad))
+	i64(int64(sn.buildCost.SchedStats.MaxQueue))
+	i64(int64(sn.buildCost.SchedStats.OrderedVisits))
+	i64(int64(sn.buildCost.Wall))
+	i64(int64(sn.s.Params.Diameter))
+	f64(sn.s.Params.KD)
+	i64(int64(sn.s.Params.N))
+	f64(sn.s.Params.P)
+	i64(int64(sn.s.Params.Reps))
+	f64(sn.s.Params.LogFactor)
+	_, _, _, acyclic := sn.ti.Raw()
+	u8(acyclic)
+	u8(sn.repair != nil)
+	var ri RepairInfo
+	if sn.repair != nil {
+		ri = *sn.repair
+	}
+	i64(int64(ri.Inserted))
+	i64(int64(ri.Deleted))
+	i64(int64(ri.Rechecked))
+	return b
+}
+
+// decodedMeta is the unpacked secMeta record plus the tree-index acyclic bit
+// that rides in it.
+type decodedMeta struct {
+	sn        Snapshot // scalar fields only
+	params    shortcut.Params
+	tiAcyclic bool
+	hasRepair bool
+	repair    RepairInfo
+}
+
+func decodeMeta(b []byte) (dm decodedMeta, err error) {
+	const op = "serve.decodeMeta"
+	if len(b) != metaSize {
+		return dm, reproerr.Errorf(op, reproerr.KindCorrupt, "meta record is %d bytes, want %d", len(b), metaSize)
+	}
+	i64 := func() int64 { v := int64(binary.LittleEndian.Uint64(b)); b = b[8:]; return v }
+	f64 := func() float64 { v := math.Float64frombits(binary.LittleEndian.Uint64(b)); b = b[8:]; return v }
+	i32 := func() int32 { v := int32(binary.LittleEndian.Uint32(b)); b = b[4:]; return v }
+	u8 := func() (bool, error) {
+		v := b[0]
+		b = b[1:]
+		if v > 1 {
+			return false, reproerr.Errorf(op, reproerr.KindCorrupt, "flag byte %d not boolean", v)
+		}
+		return v == 1, nil
+	}
+
+	sn := &dm.sn
+	sn.quality.Congestion = int(i64())
+	sn.quality.DilationLo = i32()
+	sn.quality.DilationHi = i32()
+	if sn.quality.Exact, err = u8(); err != nil {
+		return dm, err
+	}
+	sn.treeWeight = f64()
+	sn.diameter = int(i64())
+	sn.logFactor = f64()
+	sn.dilationCutoff = int(i64())
+	sn.phases = int(i64())
+	sn.qualitySum = int(i64())
+	sn.servRounds = int(i64())
+	sn.servMessages = i64()
+	sn.buildCost.Rounds = int(i64())
+	sn.buildCost.Messages = i64()
+	sn.buildCost.SchedStats.Rounds = int(i64())
+	sn.buildCost.SchedStats.Messages = i64()
+	sn.buildCost.SchedStats.MaxArcLoad = int(i64())
+	sn.buildCost.SchedStats.MaxQueue = int(i64())
+	sn.buildCost.SchedStats.OrderedVisits = int(i64())
+	sn.buildCost.Wall = time.Duration(i64())
+	dm.params.Diameter = int(i64())
+	dm.params.KD = f64()
+	dm.params.N = int(i64())
+	dm.params.P = f64()
+	dm.params.Reps = int(i64())
+	dm.params.LogFactor = f64()
+	if dm.tiAcyclic, err = u8(); err != nil {
+		return dm, err
+	}
+	if dm.hasRepair, err = u8(); err != nil {
+		return dm, err
+	}
+	dm.repair.Inserted = int(i64())
+	dm.repair.Deleted = int(i64())
+	dm.repair.Rechecked = int(i64())
+	return dm, nil
+}
+
+// WriteTo streams the snapshot to w in snapio container form, satisfying
+// io.WriterTo. Sections are emitted directly from the snapshot's live arrays
+// — ragged per-part lists go out as chunk sequences — so nothing is staged
+// in an intermediate buffer. Wrap w in a bufio.Writer when writing to disk.
+func (sn *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	sw, err := snapio.NewWriter(w, sn.generation, sn.samplingSeed)
+	if err != nil {
+		return 0, err
+	}
+	sec := func(id uint32, elem uint32, chunks ...[]byte) {
+		if err == nil {
+			err = sw.Section(id, elem, chunks...)
+		}
+	}
+	i32 := func(id uint32, v []int32) { sec(id, 4, snapio.Int32Bytes(v)) }
+	f64 := func(id uint32, v []float64) { sec(id, 8, snapio.Float64Bytes(v)) }
+
+	c := sn.g.CSR()
+	i32(secGraphOffsets, c.Offsets)
+	i32(secGraphNeighbors, c.Neighbors)
+	i32(secGraphArcEdge, c.ArcEdge)
+	i32(secGraphArcRev, c.ArcRev)
+	i32(secGraphArcTail, c.ArcTail)
+	i32(secGraphEdgeU, c.EdgeU)
+	i32(secGraphEdgeV, c.EdgeV)
+	f64(secWeights, sn.w)
+
+	np := sn.p.NumParts()
+	i32(secPartOf, sn.p.PartOfTable())
+	leaders := make([]int32, np)
+	partOff := make([]int32, np+1)
+	nodeChunks := make([][]byte, np)
+	for i := 0; i < np; i++ {
+		part := sn.p.Part(i)
+		leaders[i] = part.Leader
+		partOff[i+1] = partOff[i] + int32(len(part.Nodes))
+		nodeChunks[i] = snapio.Int32Bytes(part.Nodes)
+	}
+	i32(secPartLeaders, leaders)
+	i32(secPartOffsets, partOff)
+	sec(secPartNodes, 4, nodeChunks...)
+
+	hOff := make([]int32, np+1)
+	hChunks := make([][]byte, np)
+	for i := 0; i < np; i++ {
+		var h []graph.EdgeID
+		if i < len(sn.s.H) {
+			h = sn.s.H[i]
+		}
+		hOff[i+1] = hOff[i] + int32(len(h))
+		hChunks[i] = snapio.Int32Bytes(h)
+	}
+	i32(secShortcutOffsets, hOff)
+	sec(secShortcutEdges, 4, hChunks...)
+
+	pd := make([]int32, 4*len(sn.partDil))
+	for i, q := range sn.partDil {
+		pd[4*i] = int32(q.Congestion)
+		pd[4*i+1] = q.DilationLo
+		pd[4*i+2] = q.DilationHi
+		if q.Exact {
+			pd[4*i+3] = 1
+		}
+	}
+	i32(secPartDil, pd)
+
+	i32(secTree, sn.tree)
+	tc := sn.treeG.CSR()
+	i32(secTreeGOffsets, tc.Offsets)
+	i32(secTreeGNeighbors, tc.Neighbors)
+	i32(secTreeGArcEdge, tc.ArcEdge)
+	i32(secTreeGArcRev, tc.ArcRev)
+	i32(secTreeGArcTail, tc.ArcTail)
+	i32(secTreeGEdgeU, tc.EdgeU)
+	i32(secTreeGEdgeV, tc.EdgeV)
+	f64(secTreeArcW, sn.treeArcW)
+
+	tiOff, tiTo, tiWt, _ := sn.ti.Raw()
+	i32(secTreeIdxOff, tiOff)
+	i32(secTreeIdxTo, tiTo)
+	f64(secTreeIdxWt, tiWt)
+
+	sec(secMeta, 1, sn.metaBytes())
+	if sn.repair != nil {
+		touched := make([]int64, len(sn.repair.Touched))
+		for i, t := range sn.repair.Touched {
+			touched[i] = int64(t)
+		}
+		sec(secRepairTouched, 8, snapio.Int64Bytes(touched))
+	}
+	if err != nil {
+		return 0, err
+	}
+	return sw.Finish()
+}
+
+// WriteSnapshotFile persists sn at path atomically: the container streams
+// into a temporary file in the same directory and is renamed over path only
+// after a successful Finish, so a reader (or a replica's SwapFromFile) never
+// observes a torn snapshot.
+func WriteSnapshotFile(path string, sn *Snapshot) error {
+	const op = "serve.WriteSnapshotFile"
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return reproerr.Errorf(op, reproerr.KindUnknown, "create temp: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := sn.WriteTo(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return reproerr.Errorf(op, reproerr.KindUnknown, "flush: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		return reproerr.Errorf(op, reproerr.KindUnknown, "close temp: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return reproerr.Errorf(op, reproerr.KindUnknown, "rename: %w", err)
+	}
+	return nil
+}
+
+// LoadOptions configures LoadSnapshot / ReadSnapshot. The zero value is the
+// default: mmap when the platform supports it, full verification.
+type LoadOptions struct {
+	// NoMmap forces the portable read-into-heap path even where mmap is
+	// available (the loaded snapshot then needs no Close and survives the
+	// file being deleted or rewritten).
+	NoMmap bool
+	// SkipVerify skips section checksums and the O(n+m) structural scans,
+	// trusting the file completely — the fastest load, safe only for files
+	// this process (or an equally trusted builder) just wrote. A corrupt
+	// file loaded with SkipVerify can panic or serve wrong answers.
+	SkipVerify bool
+}
+
+// LoadSnapshot opens a persisted snapshot. On the mmap path the snapshot's
+// arrays alias the read-only file mapping: loading is O(sections) work
+// regardless of graph size, the kernel pages data in on first touch, and
+// the caller must keep the file unmodified and call Close when the snapshot
+// (and every answer sharing its slices) is done. The heap path (NoMmap, or
+// platforms without mmap) copies once and owns its memory.
+func LoadSnapshot(path string, opts LoadOptions) (*Snapshot, error) {
+	const op = "serve.LoadSnapshot"
+	var (
+		f   *snapio.File
+		err error
+	)
+	if opts.NoMmap {
+		f, err = snapio.OpenHeap(path)
+	} else {
+		f, err = snapio.Open(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sn, err := snapshotFromFile(f, opts)
+	if err != nil {
+		f.Close()
+		return nil, reproerr.Errorf(op, reproerr.KindOf(err), "%s: %w", path, err)
+	}
+	sn.backing = f
+	return sn, nil
+}
+
+// ReadSnapshot decodes a snapshot from r into the heap (no mmap; the stream
+// need not be a file). Same verification contract as LoadSnapshot.
+func ReadSnapshot(r io.Reader, opts LoadOptions) (*Snapshot, error) {
+	f, err := snapio.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	sn, err := snapshotFromFile(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	sn.backing = f
+	return sn, nil
+}
+
+// Close releases the file mapping backing a snapshot returned by
+// LoadSnapshot. It is nil-safe and idempotent, and a no-op for built or
+// heap-loaded snapshots. After Close, the snapshot and every answer that
+// aliases its slices (MST answers share the tree edge list) must not be
+// touched — prefer Store.SwapFromFileCtx, which drains in-flight readers of
+// the retired epoch before handing it back for closing.
+func (sn *Snapshot) Close() error {
+	if sn == nil || sn.backing == nil {
+		return nil
+	}
+	b := sn.backing
+	sn.backing = nil
+	return b.Close()
+}
+
+// Mapped reports whether the snapshot serves directly out of a file mapping
+// (true only for snapshots from LoadSnapshot's mmap path).
+func (sn *Snapshot) Mapped() bool { return sn.backing != nil && sn.backing.Mapped() }
+
+// snapshotFromFile assembles a Snapshot from a parsed container. Shape
+// checks (lengths, brackets) always run — they are O(1) per section and
+// keep even a trusted load panic-free on honest size mismatches. Unless
+// opts.SkipVerify, it additionally verifies every section checksum and runs
+// the deep O(n+m) structural scans that make arbitrary (fuzzed) bytes safe.
+func snapshotFromFile(f *snapio.File, opts LoadOptions) (*Snapshot, error) {
+	const op = "serve.LoadSnapshot"
+	corrupt := func(format string, args ...any) error {
+		return reproerr.Errorf(op, reproerr.KindCorrupt, format, args...)
+	}
+	verify := !opts.SkipVerify
+	if verify {
+		if err := f.Verify(); err != nil {
+			return nil, err
+		}
+	}
+
+	var err error
+	i32 := func(id uint32) []int32 {
+		if err != nil {
+			return nil
+		}
+		s, serr := f.Section(id)
+		if serr != nil {
+			err = serr
+			return nil
+		}
+		v, verr := s.Int32s()
+		if verr != nil {
+			err = verr
+		}
+		return v
+	}
+	f64 := func(id uint32) []float64 {
+		if err != nil {
+			return nil
+		}
+		s, serr := f.Section(id)
+		if serr != nil {
+			err = serr
+			return nil
+		}
+		v, verr := s.Float64s()
+		if verr != nil {
+			err = verr
+		}
+		return v
+	}
+
+	c := graph.CSR{
+		Offsets:   i32(secGraphOffsets),
+		Neighbors: i32(secGraphNeighbors),
+		ArcEdge:   i32(secGraphArcEdge),
+		ArcRev:    i32(secGraphArcRev),
+		ArcTail:   i32(secGraphArcTail),
+		EdgeU:     i32(secGraphEdgeU),
+		EdgeV:     i32(secGraphEdgeV),
+	}
+	if err != nil {
+		return nil, err
+	}
+	g, gerr := graph.FromCSR(c, verify)
+	if gerr != nil {
+		return nil, corrupt("graph: %w", gerr)
+	}
+	n, m := g.NumNodes(), g.NumEdges()
+
+	w := graph.Weights(f64(secWeights))
+	if err != nil {
+		return nil, err
+	}
+	if len(w) != m {
+		return nil, corrupt("weights: %d entries for %d edges", len(w), m)
+	}
+	if verify {
+		if werr := w.Validate(g); werr != nil {
+			return nil, corrupt("weights: %w", werr)
+		}
+	}
+
+	partOf := i32(secPartOf)
+	leaders := i32(secPartLeaders)
+	partOff := i32(secPartOffsets)
+	partNodes := i32(secPartNodes)
+	if err != nil {
+		return nil, err
+	}
+	np := len(leaders)
+	if len(partOff) != np+1 || partOff[0] != 0 || int(partOff[np]) != len(partNodes) {
+		return nil, corrupt("partition: offsets do not bracket %d nodes over %d parts", len(partNodes), np)
+	}
+	parts := make([]shortcut.Part, np)
+	for i := 0; i < np; i++ {
+		lo, hi := partOff[i], partOff[i+1]
+		if lo > hi {
+			return nil, corrupt("partition: part %d has negative extent", i)
+		}
+		parts[i] = shortcut.Part{Leader: leaders[i], Nodes: partNodes[lo:hi:hi]}
+	}
+	p, perr := shortcut.RawPartition(g, parts, partOf)
+	if perr != nil {
+		return nil, corrupt("partition: %w", perr)
+	}
+	if verify {
+		if verr := verifyPartition(g, parts, partOf); verr != nil {
+			return nil, verr
+		}
+	}
+
+	hOff := i32(secShortcutOffsets)
+	hEdges := i32(secShortcutEdges)
+	if err != nil {
+		return nil, err
+	}
+	if len(hOff) != np+1 || hOff[0] != 0 || int(hOff[np]) != len(hEdges) {
+		return nil, corrupt("shortcuts: offsets do not bracket %d edges over %d parts", len(hEdges), np)
+	}
+	h := make([][]graph.EdgeID, np)
+	for i := 0; i < np; i++ {
+		lo, hi := hOff[i], hOff[i+1]
+		if lo > hi {
+			return nil, corrupt("shortcuts: part %d has negative extent", i)
+		}
+		if lo < hi {
+			h[i] = hEdges[lo:hi:hi]
+		}
+	}
+	if verify {
+		for _, e := range hEdges {
+			if e < 0 || int(e) >= m {
+				return nil, corrupt("shortcuts: edge %d out of range [0,%d)", e, m)
+			}
+		}
+	}
+
+	pd := i32(secPartDil)
+	if err != nil {
+		return nil, err
+	}
+	if len(pd) != 4*np {
+		return nil, corrupt("part dilations: %d values for %d parts", len(pd), np)
+	}
+	partDil := make([]shortcut.Quality, np)
+	for i := range partDil {
+		ex := pd[4*i+3]
+		if verify && ex > 1 {
+			return nil, corrupt("part dilations: part %d exact flag %d not boolean", i, ex)
+		}
+		partDil[i] = shortcut.Quality{
+			Congestion: int(pd[4*i]),
+			DilationLo: pd[4*i+1],
+			DilationHi: pd[4*i+2],
+			Exact:      ex == 1,
+		}
+	}
+
+	tree := i32(secTree)
+	tc := graph.CSR{
+		Offsets:   i32(secTreeGOffsets),
+		Neighbors: i32(secTreeGNeighbors),
+		ArcEdge:   i32(secTreeGArcEdge),
+		ArcRev:    i32(secTreeGArcRev),
+		ArcTail:   i32(secTreeGArcTail),
+		EdgeU:     i32(secTreeGEdgeU),
+		EdgeV:     i32(secTreeGEdgeV),
+	}
+	treeArcW := f64(secTreeArcW)
+	if err != nil {
+		return nil, err
+	}
+	treeG, terr := graph.FromCSR(tc, verify)
+	if terr != nil {
+		return nil, corrupt("tree subgraph: %w", terr)
+	}
+	if treeG.NumNodes() != n || treeG.NumEdges() != len(tree) {
+		return nil, corrupt("tree subgraph: %d nodes / %d edges, want %d / %d",
+			treeG.NumNodes(), treeG.NumEdges(), n, len(tree))
+	}
+	if len(treeArcW) != treeG.NumArcs() {
+		return nil, corrupt("tree arc weights: %d entries for %d arcs", len(treeArcW), treeG.NumArcs())
+	}
+
+	tiOff := i32(secTreeIdxOff)
+	tiTo := i32(secTreeIdxTo)
+	tiWt := f64(secTreeIdxWt)
+	metaSec, merr := f.Section(secMeta)
+	if err == nil {
+		err = merr
+	}
+	if err != nil {
+		return nil, err
+	}
+	metaRaw, berr := metaSec.Bytes()
+	if berr != nil {
+		return nil, berr
+	}
+	dm, derr := decodeMeta(metaRaw)
+	if derr != nil {
+		return nil, derr
+	}
+	if len(tiOff) != n+1 || len(tiTo) != 2*len(tree) || len(tiWt) != len(tiTo) {
+		return nil, corrupt("tree index: shape %d/%d/%d for n=%d t=%d",
+			len(tiOff), len(tiTo), len(tiWt), n, len(tree))
+	}
+	ti, tierr := sssp.RawTreeIndex(tiOff, tiTo, tiWt, dm.tiAcyclic)
+	if tierr != nil {
+		return nil, corrupt("tree index: %w", tierr)
+	}
+	if verify {
+		if verr := verifyTree(g, w, tree, treeG, treeArcW, ti, dm.tiAcyclic); verr != nil {
+			return nil, verr
+		}
+	}
+
+	hdr := f.Header()
+	sn := dm.sn // scalar fields from meta
+	sn.g = g
+	sn.w = w
+	sn.p = p
+	sn.s = &shortcut.Shortcuts{P: p, H: h, Params: dm.params}
+	sn.partDil = partDil
+	sn.tree = tree
+	sn.treeG = treeG
+	sn.treeArcW = treeArcW
+	sn.ti = ti
+	sn.samplingSeed = hdr.Seed
+	sn.generation = hdr.Generation
+	if dm.hasRepair {
+		touched64, trerr := repairTouched(f)
+		if trerr != nil {
+			return nil, trerr
+		}
+		ri := dm.repair
+		ri.Touched = touched64
+		sn.repair = &ri
+	}
+	return &sn, nil
+}
+
+func repairTouched(f *snapio.File) ([]int, error) {
+	s, err := f.Section(secRepairTouched)
+	if err != nil {
+		return nil, err
+	}
+	v, err := s.Int64s()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(v))
+	for i, t := range v {
+		out[i] = int(t)
+	}
+	return out, nil
+}
+
+// verifyPartition runs the deep partition scan: ranges, partOf/parts
+// agreement (each listed node maps back to its part, every mapped node is
+// listed exactly once), and max-ID leaders. Part connectivity is NOT
+// re-derived — it costs a BFS per part and a snapshot only ever persists a
+// validated partition; a corrupted node list fails the agreement check long
+// before connectivity could matter.
+func verifyPartition(g *graph.Graph, parts []shortcut.Part, partOf []int32) error {
+	const op = "serve.LoadSnapshot"
+	n := int32(g.NumNodes())
+	listed := 0
+	for i, part := range parts {
+		if len(part.Nodes) == 0 {
+			return reproerr.Errorf(op, reproerr.KindCorrupt, "partition: part %d is empty", i)
+		}
+		leader := part.Nodes[0]
+		for _, v := range part.Nodes {
+			if v < 0 || v >= n {
+				return reproerr.Errorf(op, reproerr.KindCorrupt, "partition: part %d: node %d out of range", i, v)
+			}
+			if partOf[v] != int32(i) {
+				return reproerr.Errorf(op, reproerr.KindCorrupt,
+					"partition: node %d listed in part %d but mapped to %d", v, i, partOf[v])
+			}
+			if v > leader {
+				leader = v
+			}
+		}
+		if part.Leader != leader {
+			return reproerr.Errorf(op, reproerr.KindCorrupt,
+				"partition: part %d leader %d, max-ID node is %d", i, part.Leader, leader)
+		}
+		listed += len(part.Nodes)
+	}
+	mapped := 0
+	for v, pi := range partOf {
+		if pi < -1 || int(pi) >= len(parts) {
+			return reproerr.Errorf(op, reproerr.KindCorrupt, "partition: node %d mapped to invalid part %d", v, pi)
+		}
+		if pi != -1 {
+			mapped++
+		}
+	}
+	if mapped != listed {
+		// A node mapped to a part whose list omits it would otherwise slip
+		// through (the per-list scan only checks listed nodes).
+		return reproerr.Errorf(op, reproerr.KindCorrupt,
+			"partition: %d nodes mapped to parts but %d listed", mapped, listed)
+	}
+	return nil
+}
+
+// verifyTree runs the deep tree-state scan: the persisted MST edge list,
+// the tree-only execution subgraph with its per-arc weights, and the tree
+// index must all describe the same forest over g with weights w — exactly
+// the invariants the warm query paths index on without further checks.
+func verifyTree(g *graph.Graph, w graph.Weights, tree []graph.EdgeID,
+	treeG *graph.Graph, treeArcW []float64, ti *sssp.TreeIndex, acyclic bool) error {
+	const op = "serve.LoadSnapshot"
+	corrupt := func(format string, args ...any) error {
+		return reproerr.Errorf(op, reproerr.KindCorrupt, format, args...)
+	}
+	m := int32(g.NumEdges())
+	inTree := graph.NewBitset(g.NumEdges())
+	for _, e := range tree {
+		if e < 0 || e >= m {
+			return corrupt("tree: edge %d out of range [0,%d)", e, m)
+		}
+		if inTree.Has(e) {
+			return corrupt("tree: edge %d listed twice", e)
+		}
+		inTree.Set(e)
+	}
+	// treeG must realize exactly the tree edge set with g's weights: every
+	// treeG arc maps (via its endpoints) to a distinct tree edge of g and
+	// carries that edge's weight. Counts already match (NumEdges == len(tree)
+	// was checked), so per-arc membership makes it a bijection.
+	for a, arcs := int32(0), int32(treeG.NumArcs()); a < arcs; a++ {
+		u, v := treeG.ArcTail(a), treeG.ArcTarget(a)
+		e, ok := g.FindEdge(u, v)
+		if !ok {
+			return corrupt("tree subgraph: arc {%d,%d} is not an edge of the graph", u, v)
+		}
+		if !inTree.Has(e) {
+			return corrupt("tree subgraph: edge {%d,%d} is not a tree edge", u, v)
+		}
+		if treeArcW[a] != w[e] {
+			return corrupt("tree arc weights: arc {%d,%d} carries %g, graph weight is %g", u, v, treeArcW[a], w[e])
+		}
+	}
+	// The tree index must be the same adjacency: per node, same degree, and
+	// each indexed arc a tree edge with the matching weight.
+	tiOff, tiTo, tiWt, _ := ti.Raw()
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		lo, hi := tiOff[u], tiOff[u+1]
+		if lo > hi {
+			return corrupt("tree index: offsets not monotone at node %d", u)
+		}
+		if hi-lo != int32(treeG.Degree(u)) {
+			return corrupt("tree index: node %d has degree %d, tree subgraph has %d", u, hi-lo, treeG.Degree(u))
+		}
+		for a := lo; a < hi; a++ {
+			v := tiTo[a]
+			if v < 0 || int(v) >= g.NumNodes() {
+				return corrupt("tree index: arc %d: target %d out of range", a, v)
+			}
+			e, ok := g.FindEdge(u, v)
+			if !ok || !inTree.Has(e) {
+				return corrupt("tree index: arc %d: {%d,%d} is not a tree edge", a, u, v)
+			}
+			if tiWt[a] != w[e] {
+				return corrupt("tree index: arc %d carries %g, graph weight is %g", a, tiWt[a], w[e])
+			}
+		}
+	}
+	// Recount acyclicity: the bit-parallel batch kernel trusts this flag.
+	uf := make([]int32, g.NumNodes())
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	isForest := true
+	for _, e := range tree {
+		u, v := g.EdgeEndpoints(e)
+		ru, rv := find(u), find(v)
+		if ru == rv {
+			isForest = false
+			break
+		}
+		uf[ru] = rv
+	}
+	if isForest != acyclic {
+		return corrupt("tree index: stored acyclic=%v, recount says %v", acyclic, isForest)
+	}
+	return nil
+}
+
+// SwapFromFile loads a persisted snapshot and swaps it in as the active
+// epoch — the replica side of snapshot shipping: a builder node constructs
+// (or repairs) once, WriteSnapshotFile publishes the bytes, and every
+// replica pays only a load. A snapshot from the same build chain (equal
+// sampling seed) with a generation not beyond the active one is rejected as
+// stale, so replaying an old file cannot roll a replica back. Returns the
+// retired snapshot and the new epoch number; the swap does not wait for the
+// retired epoch to drain (see SwapFromFileCtx).
+func (st *Store) SwapFromFile(path string, opts LoadOptions) (*Snapshot, uint64, error) {
+	const op = "serve.SwapFromFile"
+	sn, err := LoadSnapshot(path, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	cur := st.Snapshot()
+	if cur != nil && cur.samplingSeed == sn.samplingSeed && sn.generation <= cur.generation {
+		gen := sn.generation
+		sn.Close()
+		return nil, 0, reproerr.Invalid(op,
+			"stale snapshot: shipped generation %d, active generation %d (same chain, seed %#x)",
+			gen, cur.generation, cur.samplingSeed)
+	}
+	old, seq := st.Swap(sn)
+	return old, seq, nil
+}
+
+// SwapFromFileCtx is SwapFromFile followed by a drain wait on the retired
+// epoch: when it returns a nil error, no query is executing against the
+// returned snapshot anymore, so the caller may Close it (releasing its file
+// mapping) without racing an in-flight answer. The swap itself is immediate
+// and unconditional; a canceled wait reports only that draining was still
+// in progress.
+func (st *Store) SwapFromFileCtx(ctx context.Context, path string, opts LoadOptions) (*Snapshot, error) {
+	const op = "serve.SwapFromFileCtx"
+	sn, err := LoadSnapshot(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	cur := st.Snapshot()
+	if cur != nil && cur.samplingSeed == sn.samplingSeed && sn.generation <= cur.generation {
+		gen := sn.generation
+		sn.Close()
+		return nil, reproerr.Invalid(op,
+			"stale snapshot: shipped generation %d, active generation %d (same chain, seed %#x)",
+			gen, cur.generation, cur.samplingSeed)
+	}
+	return st.SwapCtx(ctx, sn)
+}

@@ -1,0 +1,76 @@
+package serve_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/reproerr"
+	"repro/internal/serve"
+)
+
+// FuzzReadSnapshot drives arbitrary bytes through the full snapshot decoder
+// (container parse, checksum verification, deep structural scans, snapshot
+// assembly): it must never panic, every rejection must be a typed
+// *reproerr.Error, and any accepted snapshot must actually serve a query.
+// The seed corpus is a real container plus truncations and targeted flips
+// in the header, section table, and payload regions.
+func FuzzReadSnapshot(f *testing.F) {
+	rng := rand.New(rand.NewSource(42))
+	g, err := gen.ClusterChain(60, 4, rng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w := graph.NewUniformWeights(g.NumEdges(), rng)
+	parts, err := gen.VoronoiParts(g, 4, rng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sn, err := serve.NewSnapshot(g, w, parts, serve.SnapshotOptions{
+		Rng: rand.New(rand.NewSource(43)), Diameter: 4, LogFactor: 0.3,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sn.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add([]byte(nil))
+	f.Add([]byte("LCSNAP01"))
+	f.Add(valid)
+	for _, cut := range []int{1, 63, 64, 65, len(valid) / 2, len(valid) - 33, len(valid) - 1} {
+		if cut >= 0 && cut < len(valid) {
+			f.Add(append([]byte(nil), valid[:cut]...))
+		}
+	}
+	for _, off := range []int{8, 16, 40, 100, len(valid) / 3, len(valid) - 40, len(valid) - 8} {
+		if off >= 0 && off < len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[off] ^= 0x41
+			f.Add(mut)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := serve.ReadSnapshot(bytes.NewReader(data), serve.LoadOptions{})
+		if err != nil {
+			var e *reproerr.Error
+			if !errors.As(err, &e) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		// Accepted bytes passed deep verification: the snapshot must be
+		// fully serviceable, not just decodable.
+		srv := serve.NewServer(loaded, serve.ServerOptions{Executors: 1, Seed: 1})
+		if _, err := srv.Serve(serve.SSSPQuery{Source: 0}); err != nil {
+			t.Fatalf("accepted snapshot failed to serve: %v", err)
+		}
+	})
+}

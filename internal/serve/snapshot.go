@@ -35,6 +35,7 @@ import (
 	"repro/internal/mst"
 	"repro/internal/reproerr"
 	"repro/internal/shortcut"
+	"repro/internal/snapio"
 	"repro/internal/sssp"
 )
 
@@ -107,6 +108,10 @@ type Snapshot struct {
 	qualitySum   int
 	servRounds   int
 	servMessages int64
+
+	// backing is the container file this snapshot's arrays alias when it was
+	// produced by LoadSnapshot (nil for built snapshots); Close releases it.
+	backing *snapio.File
 }
 
 // RepairInfo describes the incremental update that produced a repaired

@@ -159,3 +159,21 @@ func (p *Partition) MaxPartDiameter() int32 {
 	}
 	return maxd
 }
+
+// PartOfTable returns the node → part-index table (-1 for nodes outside
+// every part), as a shared read-only slice for zero-copy persistence.
+func (p *Partition) PartOfTable() []int32 { return p.partOf }
+
+// RawPartition reassembles a Partition from previously validated raw state
+// — the persistence load path. parts and partOf are aliased, not copied;
+// NewPartition's connectivity and disjointness validation is NOT repeated
+// here, so callers must only pass arrays produced by a validated Partition
+// (the snapshot loader checks the cheap structural facts — ranges,
+// partOf/parts agreement — before calling).
+func RawPartition(g *graph.Graph, parts []Part, partOf []int32) (*Partition, error) {
+	const op = "shortcut.RawPartition"
+	if len(partOf) != g.NumNodes() {
+		return nil, reproerr.Invalid(op, "partOf length %d, want %d nodes", len(partOf), g.NumNodes())
+	}
+	return &Partition{g: g, parts: parts, partOf: partOf}, nil
+}

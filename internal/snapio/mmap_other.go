@@ -1,0 +1,17 @@
+//go:build !unix
+
+package snapio
+
+import "os"
+
+// mmapFile on platforms without the unix mmap syscall reads the whole file
+// into an 8-aligned heap buffer; Mapped reports false and Close is a no-op.
+func mmapFile(path string) (data []byte, mapped bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return alignedCopy(raw), false, nil
+}
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,35 @@
+//go:build unix
+
+package snapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The PROT_READ-only mapping doubles as an
+// immutability guarantee: any write through a loaded snapshot's slices
+// faults instead of silently corrupting the file. Empty files fall back to
+// a heap read (zero-length mmap is an EINVAL on Linux).
+func mmapFile(path string) (data []byte, mapped bool, err error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer fh.Close()
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(fh.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,313 @@
+package snapio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/reproerr"
+)
+
+// TestXXHashVectors pins the hash against published xxhash64 (seed 0)
+// reference vectors; the short inputs exercise the 8/4/1-byte tail ladder.
+func TestXXHashVectors(t *testing.T) {
+	long := make([]byte, 40) // exercises the 32-byte block + merge path
+	for i := range long {
+		long[i] = byte(i)
+	}
+	cases := []struct {
+		in   []byte
+		want uint64
+	}{
+		{nil, 0xEF46DB3751D8E999},
+		{[]byte("a"), 0xD24EC4F1A98C6E5B},
+		{[]byte("abc"), 0x44BC2CF5AD770999},
+		{long, 0xF5DA40F1B11741E9},
+	}
+	for _, c := range cases {
+		if got := xxSum64(c.in); got != c.want {
+			t.Errorf("xxSum64(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestXXHashStreaming checks that chunked writes agree with one-shot
+// hashing for every length straddling the 32-byte block boundary and
+// several chunkings — the Writer hashes sections piecewise.
+func TestXXHashStreaming(t *testing.T) {
+	data := make([]byte, 257)
+	for i := range data {
+		data[i] = byte(i*131 + 17)
+	}
+	for n := 0; n <= len(data); n++ {
+		want := xxSum64(data[:n])
+		for _, step := range []int{1, 3, 7, 31, 32, 33, 64} {
+			var d xxDigest
+			d.reset()
+			for off := 0; off < n; off += step {
+				end := off + step
+				if end > n {
+					end = n
+				}
+				d.write(data[off:end])
+			}
+			if got := d.sum(); got != want {
+				t.Fatalf("len %d step %d: streaming %#x != one-shot %#x", n, step, got, want)
+			}
+		}
+	}
+}
+
+func buildContainer(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 7, 42)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if err := w.Section(1, 4, Int32Bytes([]int32{0, 2, 5, 9})); err != nil {
+		t.Fatalf("Section 1: %v", err)
+	}
+	// Chunked section: two pieces of one logical array.
+	if err := w.Section(2, 8, Float64Bytes([]float64{1.5, -2.25}), Float64Bytes([]float64{3.75})); err != nil {
+		t.Fatalf("Section 2: %v", err)
+	}
+	if err := w.Section(3, 1, []byte("meta")); err != nil {
+		t.Fatalf("Section 3: %v", err)
+	}
+	if err := w.Section(4, 8); err != nil { // empty section
+		t.Fatalf("Section 4: %v", err)
+	}
+	n, err := w.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Finish reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func checkContainer(t *testing.T, f *File) {
+	t.Helper()
+	if h := f.Header(); h.Version != Version || h.Generation != 7 || h.Seed != 42 {
+		t.Fatalf("header = %+v", h)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	s1, err := f.Section(1)
+	if err != nil {
+		t.Fatalf("Section(1): %v", err)
+	}
+	ints, err := s1.Int32s()
+	if err != nil {
+		t.Fatalf("Int32s: %v", err)
+	}
+	if want := []int32{0, 2, 5, 9}; len(ints) != len(want) {
+		t.Fatalf("section 1 = %v, want %v", ints, want)
+	} else {
+		for i := range want {
+			if ints[i] != want[i] {
+				t.Fatalf("section 1 = %v, want %v", ints, want)
+			}
+		}
+	}
+	s2, err := f.Section(2)
+	if err != nil {
+		t.Fatalf("Section(2): %v", err)
+	}
+	fs, err := s2.Float64s()
+	if err != nil {
+		t.Fatalf("Float64s: %v", err)
+	}
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.25 || fs[2] != 3.75 {
+		t.Fatalf("section 2 = %v", fs)
+	}
+	s3, err := f.Section(3)
+	if err != nil {
+		t.Fatalf("Section(3): %v", err)
+	}
+	if b, err := s3.Bytes(); err != nil || string(b) != "meta" {
+		t.Fatalf("section 3 = %q, %v", b, err)
+	}
+	s4, err := f.Section(4)
+	if err != nil {
+		t.Fatalf("Section(4): %v", err)
+	}
+	if s4.Elems() != 0 {
+		t.Fatalf("section 4 has %d elems, want 0", s4.Elems())
+	}
+	if _, err := f.Section(99); reproerr.KindOf(err) != reproerr.KindCorrupt {
+		t.Fatalf("missing section: err = %v", err)
+	}
+	// Wrong-typed view is rejected, not misread.
+	if _, err := s1.Float64s(); reproerr.KindOf(err) != reproerr.KindCorrupt {
+		t.Fatalf("Float64s on int32 section: err = %v", err)
+	}
+}
+
+func TestRoundTripHeap(t *testing.T) {
+	raw := buildContainer(t)
+	f, err := ReadFrom(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if f.Mapped() {
+		t.Fatal("heap read reports Mapped")
+	}
+	checkContainer(t, f)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestRoundTripMmap(t *testing.T) {
+	raw := buildContainer(t)
+	path := filepath.Join(t.TempDir(), "c.lcsnap")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	checkContainer(t, f)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestSectionAlignment(t *testing.T) {
+	raw := buildContainer(t)
+	f, err := ReadFrom(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Sections() {
+		if s.Elems() == 0 {
+			continue
+		}
+		if len(s.Data)%int(s.ElemSize) != 0 {
+			t.Errorf("section %d: ragged length %d", s.ID, len(s.Data))
+		}
+	}
+}
+
+func TestWriterRejects(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section(1, 3, nil); reproerr.KindOf(err) != reproerr.KindInvalidInput {
+		t.Errorf("bad elem size: %v", err)
+	}
+	if err := w.Section(1, 4, []byte{1, 2, 3}); reproerr.KindOf(err) != reproerr.KindInvalidInput {
+		t.Errorf("ragged chunk: %v", err)
+	}
+	if err := w.Section(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section(1, 4); reproerr.KindOf(err) != reproerr.KindInvalidInput {
+		t.Errorf("duplicate id: %v", err)
+	}
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Finish(); reproerr.KindOf(err) != reproerr.KindInvalidInput {
+		t.Errorf("double Finish: %v", err)
+	}
+}
+
+// TestCorruption flips or truncates bytes across the whole container and
+// asserts parse+Verify either succeeds untouched or fails with a typed
+// KindCorrupt error — never a panic, never a silent misread of a mutated
+// checksummed region.
+func TestCorruption(t *testing.T) {
+	raw := buildContainer(t)
+
+	parseVerify := func(b []byte) error {
+		f, err := ReadFrom(bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		return f.Verify()
+	}
+	if err := parseVerify(raw); err != nil {
+		t.Fatalf("pristine container: %v", err)
+	}
+
+	// Every truncation fails typed.
+	for n := 0; n < len(raw); n++ {
+		err := parseVerify(raw[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+		var e *reproerr.Error
+		if !errors.As(err, &e) {
+			t.Fatalf("truncation to %d: untyped error %v", n, err)
+		}
+	}
+
+	// Every single-byte flip inside the checksummed regions (header, section
+	// payloads, table, footer checksum field) is caught. Padding bytes are
+	// not covered by any checksum; skip offsets where a flip still verifies
+	// only if the offset lies in padding.
+	f, err := ReadFrom(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]bool, len(raw))
+	for i := 0; i < headerSize; i++ {
+		covered[i] = true
+	}
+	for i := len(raw) - footerSize; i < len(raw); i++ {
+		covered[i] = true
+	}
+	for off := 0; off < len(raw); off++ {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0xFF
+		err := parseVerify(mut)
+		if err == nil {
+			if covered[off] {
+				t.Fatalf("flip at checksummed offset %d accepted", off)
+			}
+			continue // padding or uncovered payload byte caught below
+		}
+		var e *reproerr.Error
+		if !errors.As(err, &e) {
+			t.Fatalf("flip at %d: untyped error %v", off, err)
+		}
+	}
+
+	// Payload flips specifically must be caught by Verify.
+	for _, s := range f.Sections() {
+		if len(s.Data) == 0 {
+			continue
+		}
+		// Locate the section's bytes in raw by searching for its payload.
+		idx := bytes.Index(raw, s.Data)
+		if idx < 0 {
+			t.Fatalf("section %d payload not found in raw", s.ID)
+		}
+		mut := append([]byte(nil), raw...)
+		mut[idx] ^= 0xFF
+		if err := parseVerify(mut); reproerr.KindOf(err) != reproerr.KindCorrupt {
+			t.Errorf("section %d payload flip: %v", s.ID, err)
+		}
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, []byte("LCSNAP01"), make([]byte, 95)} {
+		if _, err := ReadFrom(bytes.NewReader(b)); reproerr.KindOf(err) != reproerr.KindCorrupt {
+			t.Errorf("input of %d bytes: %v", len(b), err)
+		}
+	}
+}

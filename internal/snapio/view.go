@@ -1,0 +1,146 @@
+package snapio
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+
+	"repro/internal/reproerr"
+)
+
+// Typed views over section payloads. The on-disk format is defined
+// little-endian; on a little-endian host (every platform this repository
+// targets in practice) a view is a zero-copy reinterpretation of the mapped
+// bytes — this is the "zero parse" half of the format's contract. On a
+// big-endian host the same functions transparently decode into a fresh
+// slice, trading the zero-copy property for portability.
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian, computed once at init.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func (s Section) elemCheck(op string, want uint32) error {
+	if s.ElemSize != want {
+		return reproerr.Errorf(op, reproerr.KindCorrupt,
+			"section %d: element size %d, want %d", s.ID, s.ElemSize, want)
+	}
+	return nil
+}
+
+// Int32s views the section as []int32.
+func (s Section) Int32s() ([]int32, error) {
+	const op = "snapio.Int32s"
+	if err := s.elemCheck(op, 4); err != nil {
+		return nil, err
+	}
+	n := len(s.Data) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(s.Data))), n), nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(s.Data[4*i:]))
+	}
+	return out, nil
+}
+
+// Int64s views the section as []int64.
+func (s Section) Int64s() ([]int64, error) {
+	const op = "snapio.Int64s"
+	if err := s.elemCheck(op, 8); err != nil {
+		return nil, err
+	}
+	n := len(s.Data) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(s.Data))), n), nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(s.Data[8*i:]))
+	}
+	return out, nil
+}
+
+// Float64s views the section as []float64.
+func (s Section) Float64s() ([]float64, error) {
+	const op = "snapio.Float64s"
+	if err := s.elemCheck(op, 8); err != nil {
+		return nil, err
+	}
+	n := len(s.Data) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(s.Data))), n), nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(s.Data[8*i:]))
+	}
+	return out, nil
+}
+
+// Bytes views the section as raw bytes (element size 1).
+func (s Section) Bytes() ([]byte, error) {
+	const op = "snapio.Bytes"
+	if err := s.elemCheck(op, 1); err != nil {
+		return nil, err
+	}
+	return s.Data, nil
+}
+
+// Int32Bytes returns v's on-disk (little-endian) byte image, zero-copy on a
+// little-endian host. Writer chunk helper.
+func Int32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), 4*len(v))
+	}
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}
+
+// Int64Bytes returns v's on-disk byte image (see Int32Bytes).
+func Int64Bytes(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), 8*len(v))
+	}
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// Float64Bytes returns v's on-disk byte image (see Int32Bytes).
+func Float64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), 8*len(v))
+	}
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package snapio
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// xxhash64 (seed 0), implemented from the reference specification. Every
+// section payload and the header+table region of a snapshot container carry
+// one of these sums; verification re-hashes the mapped bytes at ~memory
+// bandwidth, so integrity checking never dominates a millisecond-class load.
+//
+// The streaming digest exists so the Writer can hash a section's chunks as
+// they are written — no section is ever materialized in an intermediate
+// buffer just to be hashed.
+
+const (
+	xxPrime1 uint64 = 11400714785074694791
+	xxPrime2 uint64 = 14029467366897019727
+	xxPrime3 uint64 = 1609587929392839161
+	xxPrime4 uint64 = 9650029242287828579
+	xxPrime5 uint64 = 2870177450012600261
+)
+
+// xxDigest is a streaming xxhash64 state (seed 0). The zero value is not
+// ready; call reset first.
+type xxDigest struct {
+	v1, v2, v3, v4 uint64
+	total          uint64
+	mem            [32]byte
+	n              int
+}
+
+func (d *xxDigest) reset() {
+	// Wrapping initializers (seed=0); routed through a variable because Go
+	// rejects constant expressions that overflow uint64.
+	p1 := uint64(xxPrime1)
+	d.v1 = p1 + xxPrime2
+	d.v2 = xxPrime2
+	d.v3 = 0
+	d.v4 = 0 - p1
+	d.total = 0
+	d.n = 0
+}
+
+func xxRound(acc, input uint64) uint64 {
+	acc += input * xxPrime2
+	acc = bits.RotateLeft64(acc, 31)
+	acc *= xxPrime1
+	return acc
+}
+
+func xxMergeRound(acc, val uint64) uint64 {
+	acc ^= xxRound(0, val)
+	return acc*xxPrime1 + xxPrime4
+}
+
+func (d *xxDigest) write(b []byte) {
+	d.total += uint64(len(b))
+	if d.n+len(b) < 32 {
+		copy(d.mem[d.n:], b)
+		d.n += len(b)
+		return
+	}
+	if d.n > 0 {
+		c := copy(d.mem[d.n:], b)
+		b = b[c:]
+		d.v1 = xxRound(d.v1, binary.LittleEndian.Uint64(d.mem[0:]))
+		d.v2 = xxRound(d.v2, binary.LittleEndian.Uint64(d.mem[8:]))
+		d.v3 = xxRound(d.v3, binary.LittleEndian.Uint64(d.mem[16:]))
+		d.v4 = xxRound(d.v4, binary.LittleEndian.Uint64(d.mem[24:]))
+		d.n = 0
+	}
+	for len(b) >= 32 {
+		d.v1 = xxRound(d.v1, binary.LittleEndian.Uint64(b[0:]))
+		d.v2 = xxRound(d.v2, binary.LittleEndian.Uint64(b[8:]))
+		d.v3 = xxRound(d.v3, binary.LittleEndian.Uint64(b[16:]))
+		d.v4 = xxRound(d.v4, binary.LittleEndian.Uint64(b[24:]))
+		b = b[32:]
+	}
+	d.n = copy(d.mem[:], b)
+}
+
+func (d *xxDigest) sum() uint64 {
+	var h uint64
+	if d.total >= 32 {
+		h = bits.RotateLeft64(d.v1, 1) + bits.RotateLeft64(d.v2, 7) +
+			bits.RotateLeft64(d.v3, 12) + bits.RotateLeft64(d.v4, 18)
+		h = xxMergeRound(h, d.v1)
+		h = xxMergeRound(h, d.v2)
+		h = xxMergeRound(h, d.v3)
+		h = xxMergeRound(h, d.v4)
+	} else {
+		h = d.v3 + xxPrime5 // v3 holds the seed (0)
+	}
+	h += d.total
+	b := d.mem[:d.n]
+	for len(b) >= 8 {
+		h ^= xxRound(0, binary.LittleEndian.Uint64(b))
+		h = bits.RotateLeft64(h, 27)*xxPrime1 + xxPrime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b)) * xxPrime1
+		h = bits.RotateLeft64(h, 23)*xxPrime2 + xxPrime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * xxPrime5
+		h = bits.RotateLeft64(h, 11) * xxPrime1
+	}
+	h ^= h >> 33
+	h *= xxPrime2
+	h ^= h >> 29
+	h *= xxPrime3
+	h ^= h >> 32
+	return h
+}
+
+// xxSum64 hashes b in one shot.
+func xxSum64(b []byte) uint64 {
+	var d xxDigest
+	d.reset()
+	d.write(b)
+	return d.sum()
+}

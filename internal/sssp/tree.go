@@ -141,3 +141,29 @@ func (ti *TreeIndex) DistancesInto(dst []float64, src graph.NodeID, sc *TreeScra
 	}
 	return dst, nil
 }
+
+// Raw returns the index's internal arrays (tree CSR offsets, arc targets,
+// arc weights) and the acyclicity flag, as shared read-only slices for
+// zero-copy persistence.
+func (ti *TreeIndex) Raw() (off []int32, to []graph.NodeID, wt []float64, acyclic bool) {
+	return ti.off, ti.to, ti.wt, ti.acyclic
+}
+
+// RawTreeIndex reassembles a TreeIndex around previously built arrays
+// without copying or re-deriving the acyclicity flag — the persistence load
+// path. The caller is responsible for structural validity (the snapshot
+// loader verifies the CSR shape, ID ranges, and that acyclic matches a
+// union-find recount before trusting the index).
+func RawTreeIndex(off []int32, to []graph.NodeID, wt []float64, acyclic bool) (*TreeIndex, error) {
+	const op = "sssp.RawTreeIndex"
+	if len(off) < 1 {
+		return nil, reproerr.Invalid(op, "offsets empty (need n+1 entries)")
+	}
+	if len(to) != len(wt) {
+		return nil, reproerr.Invalid(op, "targets/weights length mismatch: %d vs %d", len(to), len(wt))
+	}
+	if off[0] != 0 || int(off[len(off)-1]) != len(to) {
+		return nil, reproerr.Invalid(op, "offsets do not bracket %d arcs", len(to))
+	}
+	return &TreeIndex{off: off, to: to, wt: wt, acyclic: acyclic}, nil
+}
