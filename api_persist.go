@@ -115,5 +115,5 @@ func SwapSnapshotFromFileCtx(ctx context.Context, store *Store, path string, opt
 }
 
 func (c *Config) loadOptions() serve.LoadOptions {
-	return serve.LoadOptions{NoMmap: c.NoMmap, SkipVerify: c.SkipSnapshotVerify}
+	return serve.LoadOptions{NoMmap: c.NoMmap, SkipVerify: c.SkipSnapshotVerify, Metrics: c.Metrics}
 }

@@ -212,8 +212,8 @@ func NewSnapshotCtx(ctx context.Context, g *Graph, w Weights, parts [][]NodeID, 
 }
 
 // NewServerV2 builds a server over snap from functional options
-// (WithExecutors, WithWorkers, WithSeed / WithServerSeed,
-// WithBitParallel). The server's
+// (WithExecutors, WithWorkers, WithSeed / WithServerSeed, WithBitParallel,
+// WithMetrics, WithProfileLabels). The server's
 // context-first query methods — ServeCtx, ServeBatchCtx, ServeSSSPIntoCtx —
 // gate executor checkout on the context and thread it into every scheduled
 // phase; a canceled query leaves the pool fully usable.
@@ -222,12 +222,19 @@ func NewServerV2(snap *Snapshot, opts ...Option) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return serve.NewServer(snap, serve.ServerOptions{
-		Executors:          cfg.Executors,
-		Workers:            cfg.Workers,
-		Seed:               cfg.serverSeed(),
-		DisableBitParallel: cfg.DisableBitParallel,
-	}), nil
+	return serve.NewServer(snap, cfg.serverOptions()), nil
+}
+
+func (c *Config) serverOptions() serve.ServerOptions {
+	return serve.ServerOptions{
+		Executors:          c.Executors,
+		Workers:            c.Workers,
+		Seed:               c.serverSeed(),
+		DisableBitParallel: c.DisableBitParallel,
+		Metrics:            c.Metrics,
+		TraceDepth:         c.TraceDepth,
+		ProfileLabels:      c.ProfileLabels,
+	}
 }
 
 // Dynamic graphs: incremental snapshot updates and hot-swap serving.
@@ -273,6 +280,18 @@ type RepairInfo = serve.RepairInfo
 // NewStore creates a store serving snap at epoch 1.
 func NewStore(snap *Snapshot) *Store { return serve.NewStore(snap) }
 
+// NewStoreV2 is NewStore from functional options: WithMetrics attaches an
+// observability registry recording swap count/latency, drain waits, lease
+// pins, and stale-generation rejections. Share the registry with the
+// servers over this store so one exposition covers the whole stack.
+func NewStoreV2(snap *Snapshot, opts ...Option) (*Store, error) {
+	cfg, err := NewConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewStoreWith(snap, serve.StoreOptions{Metrics: cfg.Metrics}), nil
+}
+
 // ApplyDeltaCtx applies a batch of edge mutations to a snapshot's graph and
 // repairs the serving state part-locally under ctx: only the parts whose
 // shortcut subgraphs the delta invalidates are re-sampled and re-verified
@@ -308,12 +327,7 @@ func NewStoreServerV2(store *Store, opts ...Option) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return serve.NewStoreServer(store, serve.ServerOptions{
-		Executors:          cfg.Executors,
-		Workers:            cfg.Workers,
-		Seed:               cfg.serverSeed(),
-		DisableBitParallel: cfg.DisableBitParallel,
-	}), nil
+	return serve.NewStoreServer(store, cfg.serverOptions()), nil
 }
 
 // RunCongestCtx executes one Program per node of g on the unified CONGEST

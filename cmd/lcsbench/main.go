@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/expt"
+	"repro/internal/obs"
 	"repro/internal/reproerr"
 )
 
@@ -80,6 +81,8 @@ func run(args []string, stdout io.Writer) error {
 		engine    = fs.String("engine", "sequential", "CONGEST engine for simulated experiments: sequential, pool (one worker per CPU), or a worker count")
 		jsonOut   = fs.Bool("json", false, "emit all tables as a JSON array (overrides -csv)")
 		benchOut  = fs.String("bench-out", "", "also write the run envelope + tables as JSON to this file (e.g. BENCH_serving.json for -serve runs); stdout keeps its text/CSV/JSON form")
+
+		metricsOut = fs.String("metrics-out", "", "instrument the run with an observability registry and write its JSON snapshot (per-kind latency quantiles, kernel-routing and epoch-swap counters, query traces) to this file; the snapshot is also folded into the -json/-bench-out envelope under run.metrics")
 
 		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit); exercises the library's context-first cancellation end-to-end")
 
@@ -139,6 +142,11 @@ func run(args []string, stdout io.Writer) error {
 		SnapshotIn:   *snapshotIn,
 		SnapshotOut:  *snapshotOut,
 		Ctx:          ctx,
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.New()
+		cfg.Metrics = reg
 	}
 	var err error
 	if cfg.Workers, err = parseEngine(*engine); err != nil {
@@ -229,6 +237,21 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	info.Cost = &cost.Cost{Wall: time.Since(start)}
+	if reg != nil {
+		snap := reg.Snapshot()
+		info.Metrics = &snap
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+	}
 	if *benchOut != "" {
 		f, err := os.Create(*benchOut)
 		if err != nil {

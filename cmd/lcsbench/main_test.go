@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // envelope mirrors expt.WriteJSON's output shape — the machine-readable
@@ -275,5 +277,84 @@ func TestPersistenceFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-snapshot-in", "/nonexistent/snap.lcsnap", "serving"}, &out); err == nil {
 		t.Fatal("missing -snapshot-in file accepted")
+	}
+}
+
+// TestMetricsOut drives an instrumented -serve sweep: the -metrics-out file
+// must hold the registry's JSON snapshot, and the -json envelope must carry
+// the same snapshot under run.metrics, with counters consistent with the
+// sweep the tables describe.
+func TestMetricsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-quick", "-json", "-serve", "-dist-sizes", "300",
+		"-serve-queries", "8", "-serve-executors", "1,2", "-serve-batches", "1,4",
+		"-metrics-out", path,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Run struct {
+			Metrics *obs.Snapshot `json:"metrics"`
+		} `json:"run"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if env.Run.Metrics == nil {
+		t.Fatal("-json envelope missing run.metrics")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("-metrics-out file does not parse: %v", err)
+	}
+
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		key := c.Name
+		if k := c.Labels["kernel"]; k != "" {
+			key += ":" + k
+		}
+		counters[key] = c.Value
+	}
+	// 2 executor settings × 8 queries per sweep point: 16 walk singles, and
+	// one bitparallel + one scalar group per executor setting (batch 4,
+	// 8 queries → 2 groups each).
+	if counters["lcs_serve_kernel_runs_total:walk"] != 16 {
+		t.Fatalf("walk kernel runs = %d, want 16", counters["lcs_serve_kernel_runs_total:walk"])
+	}
+	if counters["lcs_serve_kernel_runs_total:bitparallel"] == 0 || counters["lcs_serve_kernel_runs_total:scalar"] == 0 {
+		t.Fatalf("batch kernel counters missing: %v", counters)
+	}
+	if counters["lcs_serve_coalesce_in_total"] == 0 {
+		t.Fatalf("coalesce counters missing: %v", counters)
+	}
+	sawLatency, sawEpoch := false, false
+	for _, h := range snap.Histograms {
+		if h.Name == "lcs_serve_latency_ns" && h.Labels["kind"] == "sssp" {
+			sawLatency = true
+			if h.Count == 0 || h.P50 <= 0 || h.P99 < h.P50 {
+				t.Fatalf("sssp latency summary implausible: %+v", h)
+			}
+		}
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "lcs_store_epoch" {
+			sawEpoch = true
+			if g.Value != 1 {
+				t.Fatalf("store epoch = %d, want 1 (no swaps in the sweep)", g.Value)
+			}
+		}
+	}
+	if !sawLatency || !sawEpoch {
+		t.Fatalf("missing per-kind latency or store epoch series (latency=%v epoch=%v)", sawLatency, sawEpoch)
+	}
+	if len(snap.Traces) == 0 {
+		t.Fatal("no query traces retained")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/mincut"
+	"repro/internal/obs"
 	"repro/internal/reproerr"
 )
 
@@ -82,6 +83,13 @@ type Config struct {
 	// are the defaults: mmap on, verification on.
 	NoMmap             bool
 	SkipSnapshotVerify bool
+	// Metrics attaches an observability registry (WithMetrics) to servers,
+	// stores, and snapshot loads; nil = uninstrumented. TraceDepth sizes
+	// the registry's query-trace ring on first registration (0 = default);
+	// ProfileLabels wraps executor execution in runtime/pprof labels.
+	Metrics       *obs.Registry
+	TraceDepth    int
+	ProfileLabels bool
 
 	err error // first invalid option, reported by the entry point
 }
@@ -296,6 +304,35 @@ func WithMmap(on bool) Option { return func(c *Config) { c.NoMmap = !on } }
 func WithSnapshotVerify(on bool) Option {
 	return func(c *Config) { c.SkipSnapshotVerify = !on }
 }
+
+// WithMetrics attaches an observability registry (NewMetrics) to the entry
+// point: servers record per-kind latency, queue wait, executor utilization,
+// kernel routing, coalescing, and per-execution traces; stores record swap
+// count/latency, drain waits, lease pins, and stale rejections; snapshot
+// loads record load path, bytes, and verify time. One registry can span
+// the whole serving stack — registration is idempotent, so sharing is
+// free. All instrument writes are atomic arithmetic on preallocated state:
+// the warm serve paths keep their 0 allocs/op with metrics attached.
+func WithMetrics(reg *Metrics) Option { return func(c *Config) { c.Metrics = reg } }
+
+// WithTraceDepth sizes the registry's bounded query-trace ring on first
+// registration (0 = the obs default, 1024 records). Only meaningful
+// together with WithMetrics.
+func WithTraceDepth(n int) Option {
+	return func(c *Config) {
+		if n < 0 {
+			c.fail("trace depth %d < 0", n)
+			return
+		}
+		c.TraceDepth = n
+	}
+}
+
+// WithProfileLabels wraps a server's executor execution in runtime/pprof
+// labels (query_kind, kernel) so CPU profiles attribute samples per query
+// kind. Off by default: the labeled context allocates per query, so
+// enabling it trades the warm paths' 0 allocs/op for attribution.
+func WithProfileLabels(on bool) Option { return func(c *Config) { c.ProfileLabels = on } }
 
 // splitmix64 is the SplitMix64 finalizer — the derivation behind WithSeed
 // and the server's per-query randomness.

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/shortcut"
 )
 
@@ -50,6 +51,14 @@ type Config struct {
 	SnapshotOut string
 	// PersistSizes is the n sweep of E16 (nil = default).
 	PersistSizes []int
+	// Metrics, when non-nil, attaches the observability registry to the
+	// serving-layer experiments (E14's store, servers, and snapshot load):
+	// per-kind latency histograms, kernel-routing counters, epoch-swap
+	// counts, and query traces accumulate there for the caller to expose
+	// or serialize (lcsbench's -metrics-out flag threads it here). E14
+	// also folds the snapshot's simulated build cost in via
+	// serve.RecordCost; the construction engines stay observability-free.
+	Metrics *obs.Registry
 	// Ctx, when non-nil, cancels the heavyweight simulated phases of an
 	// experiment cooperatively (lcsbench's -timeout flag threads it here);
 	// a canceled experiment returns a reproerr.KindCanceled/KindDeadline

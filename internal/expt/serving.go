@@ -34,7 +34,7 @@ func E14Serving(cfg Config) (*Table, error) {
 		// A persisted snapshot replaces the cold build: the "build" cost
 		// this run pays is one mmap load.
 		buildStart := time.Now()
-		snap, err = serve.LoadSnapshot(cfg.SnapshotIn, serve.LoadOptions{})
+		snap, err = serve.LoadSnapshot(cfg.SnapshotIn, serve.LoadOptions{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("E14: load %s: %w", cfg.SnapshotIn, err)
 		}
@@ -86,6 +86,11 @@ func E14Serving(cfg Config) (*Table, error) {
 	rebuildPer := time.Since(rebuildStart) / time.Duration(rebuildQueries)
 	rebuildQPS := float64(time.Second) / float64(rebuildPer)
 
+	// Serving goes through a Store — the epoch-pinning production shape, so
+	// an instrumented run (cfg.Metrics) reports swap counts, lease pins, and
+	// per-epoch trace attribution even though this sweep never swaps.
+	store := serve.NewStoreWith(snap, serve.StoreOptions{Metrics: cfg.Metrics})
+
 	// The kernel dimension: batched groups run on the bit-parallel kernel by
 	// default and on the scalar random-delay kernel with DisableBitParallel —
 	// answers are identical, so any qps gap is pure kernel throughput.
@@ -99,9 +104,10 @@ func E14Serving(cfg Config) (*Table, error) {
 				kernels = []string{"bitparallel", "scalar"}
 			}
 			for _, kernel := range kernels {
-				srv := serve.NewServer(snap, serve.ServerOptions{
+				srv := serve.NewStoreServer(store, serve.ServerOptions{
 					Executors: executors, Workers: cfg.Workers, Seed: cfg.Seed,
 					DisableBitParallel: kernel == "scalar",
+					Metrics:            cfg.Metrics,
 				})
 				elapsed, simRounds, err := fireQueries(cfg.ctx(), srv, g.NumNodes(), cfg.ServeQueries, executors, batch)
 				if err != nil {
@@ -119,6 +125,7 @@ func E14Serving(cfg Config) (*Table, error) {
 		}
 	}
 
+	serve.RecordCost(cfg.Metrics, snap.Cost())
 	rounds, messages, phases := snap.BuildCost()
 	acquired := "build"
 	if cfg.SnapshotIn != "" {

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 )
 
 // Table is a simple titled grid of string cells.
@@ -120,6 +121,10 @@ type RunInfo struct {
 	// zero at this level — per-experiment simulated costs live in the table
 	// rows, which cancellation truncates to the completed experiments.
 	Cost *cost.Cost `json:"cost,omitempty"`
+	// Metrics is the run's observability snapshot (counters, gauges,
+	// histogram summaries with p50/p99/p999, retained query traces) when
+	// the run was instrumented (lcsbench -metrics-out); nil otherwise.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // WriteJSON renders a run as a JSON object {run, tables}, where tables is

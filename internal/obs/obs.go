@@ -1,0 +1,259 @@
+// Package obs is the zero-allocation observability core of the serving
+// stack: atomic counters and gauges, fixed-bucket log-spaced latency
+// histograms with lock-free Observe and mergeable snapshots, and a bounded
+// ring-buffer query-trace recorder. A Registry exposes everything three
+// ways — Prometheus text exposition (WritePrometheus), a JSON snapshot
+// (WriteJSON / Snapshot), and an optional net/http handler (Handler) —
+// with no dependencies beyond the standard library.
+//
+// Two properties shape the design:
+//
+//   - Hot-path operations never allocate. Observe, Add, Set, and
+//     TraceRing.Record are a handful of atomic operations on preallocated
+//     state, so the serving layer's CI-enforced 0 allocs/op warm paths stay
+//     at 0 allocs/op with a live registry attached.
+//   - Every instrument method is nil-receiver-safe. Uninstrumented code
+//     holds nil pointers and pays one predictable branch per call site —
+//     no interface dispatch, no wrapper types, no separate no-op
+//     implementation to keep in sync.
+//
+// Registration (Registry.Counter / Gauge / Histogram / Trace) is idempotent
+// on (name, labels): re-registering returns the existing instrument, so
+// independent components — several servers over one store, say — share
+// series without coordination. Registration may allocate; it happens at
+// construction time, never per observation.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter ignores all writes and reads as zero.
+type Counter struct {
+	meta
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored — counters only
+// go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count (zero for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to use; a
+// nil *Gauge ignores all writes and reads as zero.
+type Gauge struct {
+	meta
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (negative deltas decrement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a lock-free
+// running maximum (peak arc load, peak queue depth).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// meta is the identity shared by every instrument: a metric name plus an
+// ordered list of label key/value pairs.
+type meta struct {
+	name   string
+	labels []string // k1, v1, k2, v2, ...
+}
+
+// Name returns the metric name.
+func (m *meta) Name() string { return m.name }
+
+// Labels returns the label pairs as an ordered k1,v1,k2,v2 list. Shared —
+// do not mutate.
+func (m *meta) Labels() []string { return m.labels }
+
+// key builds the registration identity of (name, labels).
+func metricKey(name string, labels []string) string {
+	k := name
+	for _, l := range labels {
+		k += "\x00" + l
+	}
+	return k
+}
+
+// Registry is a set of named instruments. The zero value is NOT usable —
+// construct with New. A nil *Registry is the no-op registry: every
+// registration returns nil, and nil instruments ignore all writes, so code
+// can thread an optional registry without branching beyond the nil checks
+// the instruments already perform.
+type Registry struct {
+	mu     sync.Mutex
+	byKey  map[string]any
+	order  []any // registration order; exposition sorts
+	trace  *TraceRing
+	traceN TraceNames
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{byKey: map[string]any{}}
+}
+
+// Counter registers (or returns the existing) counter with the given name
+// and label pairs. labels must be an even-length k,v list. A nil registry
+// returns nil.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := metricKey(name, labels)
+	if m, ok := r.byKey[key]; ok {
+		c, _ := m.(*Counter)
+		return c
+	}
+	c := &Counter{meta: meta{name: name, labels: checkLabels(labels)}}
+	r.byKey[key] = c
+	r.order = append(r.order, c)
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := metricKey(name, labels)
+	if m, ok := r.byKey[key]; ok {
+		g, _ := m.(*Gauge)
+		return g
+	}
+	g := &Gauge{meta: meta{name: name, labels: checkLabels(labels)}}
+	r.byKey[key] = g
+	r.order = append(r.order, g)
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := metricKey(name, labels)
+	if m, ok := r.byKey[key]; ok {
+		h, _ := m.(*Histogram)
+		return h
+	}
+	h := &Histogram{meta: meta{name: name, labels: checkLabels(labels)}}
+	r.byKey[key] = h
+	r.order = append(r.order, h)
+	return h
+}
+
+// Trace registers the registry's query-trace ring, created on first call
+// with the given capacity (0 selects DefaultTraceDepth) and code→name
+// tables; later calls return the existing ring regardless of arguments. A
+// nil registry returns nil.
+func (r *Registry) Trace(size int, names TraceNames) *TraceRing {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.trace == nil {
+		r.trace = NewTraceRing(size)
+		r.traceN = names
+	}
+	return r.trace
+}
+
+func checkLabels(labels []string) []string {
+	if len(labels)%2 != 0 {
+		panic("obs: label list must be even-length k,v pairs")
+	}
+	return labels
+}
+
+// instruments returns the registered instruments sorted by (name, labels) —
+// the deterministic order exposition and snapshots use.
+func (r *Registry) instruments() []any {
+	r.mu.Lock()
+	out := make([]any, len(r.order))
+	copy(out, r.order)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		mi, li := identityOf(out[i])
+		mj, lj := identityOf(out[j])
+		if mi != mj {
+			return mi < mj
+		}
+		return li < lj
+	})
+	return out
+}
+
+func identityOf(m any) (name, labelKey string) {
+	switch m := m.(type) {
+	case *Counter:
+		return m.name, metricKey("", m.labels)
+	case *Gauge:
+		return m.name, metricKey("", m.labels)
+	case *Histogram:
+		return m.name, metricKey("", m.labels)
+	}
+	return "", ""
+}

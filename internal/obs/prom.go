@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// labelEscaper escapes label values per the Prometheus text exposition
+// format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// WritePrometheus writes every registered instrument in Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: instruments
+// sort by (name, labels), histogram buckets are cumulative with sparse
+// non-empty `le` boundaries plus +Inf, and each metric family gets one
+// # TYPE line. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, m := range r.instruments() {
+		switch m := m.(type) {
+		case *Counter:
+			writeType(bw, &lastName, m.name, "counter")
+			writeSample(bw, m.name, m.labels, "", m.Value())
+		case *Gauge:
+			writeType(bw, &lastName, m.name, "gauge")
+			writeSample(bw, m.name, m.labels, "", m.Value())
+		case *Histogram:
+			writeType(bw, &lastName, m.name, "histogram")
+			s := m.Snapshot()
+			var cum int64
+			for _, b := range s.Buckets() {
+				cum += b.Count
+				writeSample(bw, m.name+"_bucket", m.labels, strconv.FormatInt(b.Le, 10), cum)
+			}
+			writeSample(bw, m.name+"_bucket", m.labels, "+Inf", s.Count)
+			writeSample(bw, m.name+"_sum", m.labels, "", s.Sum)
+			writeSample(bw, m.name+"_count", m.labels, "", s.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeType(w *bufio.Writer, lastName *string, name, typ string) {
+	if name == *lastName {
+		return
+	}
+	*lastName = name
+	w.WriteString("# TYPE ")
+	w.WriteString(name)
+	w.WriteByte(' ')
+	w.WriteString(typ)
+	w.WriteByte('\n')
+}
+
+// writeSample emits one `name{labels} value` line; le, when non-empty, is
+// appended as the trailing `le` label (histogram bucket boundary).
+func writeSample(w *bufio.Writer, name string, labels []string, le string, v int64) {
+	w.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		w.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(labels[i])
+			w.WriteString(`="`)
+			labelEscaper.WriteString(w, labels[i+1])
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(v, 10))
+	w.WriteByte('\n')
+}
+
+// Handler returns an http.Handler serving the registry: Prometheus text
+// exposition by default, the JSON snapshot (including traces) when the
+// request carries ?format=json. Safe to mount on any mux; ready for a
+// future lcsserve gateway.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := r.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

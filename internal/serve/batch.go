@@ -50,13 +50,17 @@ func (s *Server) ServeBatchCtx(ctx context.Context, queries []Query) ([]Answer, 
 			ssspIdx = append(ssspIdx, i)
 		}
 	}
-	l, err := s.checkoutCtx(ctx)
+	l, wait, err := s.timedCheckout(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer s.release(l)
+	var gr groupRun
 	if len(ssspIdx) > 1 {
-		if err := s.serveSSSPGroup(ctx, l, queries, ssspIdx, answers); err != nil {
+		t0 := s.m.nowIf()
+		gr, err = s.serveSSSPGroup(ctx, l, queries, ssspIdx, answers)
+		s.m.record(KindSSSP, gr.kernel, l, int32(gr.tasks), wait, s.m.sinceNs(t0), err)
+		if err != nil {
 			return nil, fmt.Errorf("serve: batched sssp: %w", err)
 		}
 	}
@@ -64,18 +68,26 @@ func (s *Server) ServeBatchCtx(ctx context.Context, queries []Query) ([]Answer, 
 		if answers[i] != nil {
 			continue
 		}
+		t0 := s.m.nowIf()
 		a, err := s.serveOn(ctx, l, q)
+		kernel := kernelForKind(q.queryKind())
+		s.m.record(q.queryKind(), kernel, l, 1, 0, s.m.sinceNs(t0), err)
 		if err != nil {
 			return nil, fmt.Errorf("serve: batch query %d (%v): %w", i, kindOf(q), err)
 		}
+		s.m.kernelRun(kernel)
 		answers[i] = a
 	}
-	// Count only delivered work: a failed batch delivers nothing.
+	// Count only delivered work: a failed batch delivers nothing (including
+	// its coalescing counts — the group may have executed, but its answers
+	// were never handed out).
 	for _, a := range answers {
 		s.served[a.answerKind()].Add(1)
 	}
 	s.batches.Add(1)
 	s.batched.Add(int64(len(queries)))
+	s.coalesceIn.Add(int64(gr.in))
+	s.coalesceOut.Add(int64(gr.tasks))
 	return answers, nil
 }
 
@@ -90,7 +102,7 @@ func kindOf(q Query) any {
 // execution restricted to the pinned snapshot's tree edges (see
 // serveSSSPDists for coalescing and kernel routing), then materializes one
 // answer per query.
-func (s *Server) serveSSSPGroup(ctx context.Context, l lease, queries []Query, idx []int, answers []Answer) error {
+func (s *Server) serveSSSPGroup(ctx context.Context, l lease, queries []Query, idx []int, answers []Answer) (groupRun, error) {
 	ex := l.ex
 	n := l.sn.g.NumNodes()
 	srcs := ex.batchSrcs[:0]
@@ -106,10 +118,11 @@ func (s *Server) serveSSSPGroup(ctx context.Context, l lease, queries []Query, i
 	for t := range ex.batchDists {
 		ex.batchDists[t] = make([]float64, n) // escapes into the answer below
 	}
-	stats, err := s.serveSSSPDists(ctx, l, srcs, ex.batchDists)
+	gr, err := s.serveSSSPDists(ctx, l, srcs, ex.batchDists)
 	if err != nil {
-		return err
+		return gr, err
 	}
+	stats := gr.stats
 	for t, i := range idx {
 		answers[i] = &SSSPAnswer{
 			Source: srcs[t],
@@ -118,7 +131,17 @@ func (s *Server) serveSSSPGroup(ctx context.Context, l lease, queries []Query, i
 		}
 		ex.batchDists[t] = nil // the answer owns it now; don't pin it in the pool
 	}
-	return nil
+	return gr, nil
+}
+
+// groupRun reports one batched SSSP group execution: the shared scheduled
+// stats, the kernel that ran it, and the task count after duplicate-root
+// coalescing.
+type groupRun struct {
+	stats  sched.Stats
+	kernel uint8
+	tasks  int
+	in     int // queries entering the group, before coalescing (0 on error)
 }
 
 // serveSSSPDists is the batch-group core shared by ServeBatch and the warm
@@ -152,7 +175,7 @@ func (s *Server) serveSSSPGroup(ctx context.Context, l lease, queries []Query, i
 // kernel on forest-restricted runs (pinned by the sched equivalence suite).
 // Ineligible trees and DisableBitParallel fall back to the scalar kernel
 // under the usual per-query randomized delays.
-func (s *Server) serveSSSPDists(ctx context.Context, l lease, srcs []graph.NodeID, dsts [][]float64) (sched.Stats, error) {
+func (s *Server) serveSSSPDists(ctx context.Context, l lease, srcs []graph.NodeID, dsts [][]float64) (groupRun, error) {
 	sn, ex := l.sn, l.ex
 	n := sn.g.NumNodes()
 	// Coalesce: rootMark is all-zero outside this window; it holds 1+task
@@ -182,7 +205,7 @@ func (s *Server) serveSSSPDists(ctx context.Context, l lease, srcs []graph.NodeI
 		ex.rootMark[t.Root] = 0
 	}
 	if badSrc != -1 {
-		return sched.Stats{}, reproerr.Invalid("sssp", "source %d out of range [0,%d)", badSrc, n)
+		return groupRun{kernel: kernelScalar}, reproerr.Invalid("sssp", "source %d out of range [0,%d)", badSrc, n)
 	}
 
 	// Streaming destinations: the sequential visit log (the server-default
@@ -200,28 +223,22 @@ func (s *Server) serveSSSPDists(ctx context.Context, l lease, srcs []graph.NodeI
 			ex.pstack = make([]int32, 0, n) // chain depth is bounded by n
 		}
 	}
+	kernel := kernelScalar
+	if !s.opts.DisableBitParallel && sn.ti.BitParallelEligible() {
+		kernel = kernelBitParallel
+	}
 	var stats sched.Stats
 	var err error
-	if !s.opts.DisableBitParallel && sn.ti.BitParallelEligible() {
-		stats, err = ex.runner.ParallelBFSBitInto(&ex.forest, sn.treeG, tasks, sched.Options{
-			Workers:    s.opts.Workers,
-			Ctx:        ctx,
-			ParcInto:   ex.parcs,
-			VisitOrder: ex.order,
-		})
+	if s.prof != nil {
+		stats, err = s.runGroupKernelProf(ctx, l, kernel, tasks)
 	} else {
-		stats, err = ex.runner.ParallelBFSInto(&ex.forest, sn.treeG, tasks, sched.Options{
-			MaxDelay:   len(tasks),
-			Rng:        s.queryRng(KindSSSP, int64(len(tasks))),
-			Workers:    s.opts.Workers,
-			Ctx:        ctx,
-			ParcInto:   ex.parcs,
-			VisitOrder: ex.order,
-		})
+		stats, err = s.runGroupKernel(ctx, l, kernel, tasks)
 	}
 	if err != nil {
-		return stats, err
+		return groupRun{stats: stats, kernel: kernel, tasks: len(tasks)}, err
 	}
+	s.m.kernelRun(kernel)
+	s.m.group(len(srcs), len(tasks), stats)
 
 	tg, arcW := sn.treeG, sn.treeArcW
 	if ov := stats.OrderedVisits; ov >= 0 {
@@ -315,7 +332,38 @@ func (s *Server) serveSSSPDists(ctx context.Context, l lease, srcs []graph.NodeI
 			copy(dsts[i], dsts[fs]) // coalesced duplicate: fan the answer out
 		}
 	}
-	return stats, nil
+	return groupRun{stats: stats, kernel: kernel, tasks: len(tasks), in: len(srcs)}, nil
+}
+
+// runGroupKernel dispatches one batched BFS group to the routed kernel.
+func (s *Server) runGroupKernel(ctx context.Context, l lease, kernel uint8, tasks []sched.BFSTask) (sched.Stats, error) {
+	sn, ex := l.sn, l.ex
+	if kernel == kernelBitParallel {
+		return ex.runner.ParallelBFSBitInto(&ex.forest, sn.treeG, tasks, sched.Options{
+			Workers:    s.opts.Workers,
+			Ctx:        ctx,
+			ParcInto:   ex.parcs,
+			VisitOrder: ex.order,
+		})
+	}
+	return ex.runner.ParallelBFSInto(&ex.forest, sn.treeG, tasks, sched.Options{
+		MaxDelay:   len(tasks),
+		Rng:        s.queryRng(KindSSSP, int64(len(tasks))),
+		Workers:    s.opts.Workers,
+		Ctx:        ctx,
+		ParcInto:   ex.parcs,
+		VisitOrder: ex.order,
+	})
+}
+
+// runGroupKernelProf is runGroupKernel under the kernel's pprof label set —
+// its own method so the closure's captures heap-allocate only when
+// profiling is on (the unprofiled warm batch path asserts 0 allocs/op).
+func (s *Server) runGroupKernelProf(ctx context.Context, l lease, kernel uint8, tasks []sched.BFSTask) (stats sched.Stats, err error) {
+	doProf(ctx, s.prof.kernel[kernel], func() {
+		stats, err = s.runGroupKernel(ctx, l, kernel, tasks)
+	})
+	return stats, err
 }
 
 // ServeSSSPBatchInto is the allocation-free warm batch path: every source
@@ -336,7 +384,7 @@ func (s *Server) ServeSSSPBatchIntoCtx(ctx context.Context, dst [][]float64, src
 	if len(srcs) == 0 {
 		return dst[:0], nil
 	}
-	l, err := s.checkoutCtx(ctx)
+	l, wait, err := s.timedCheckout(ctx)
 	if err != nil {
 		return dst, err
 	}
@@ -356,12 +404,17 @@ func (s *Server) ServeSSSPBatchIntoCtx(ctx context.Context, dst [][]float64, src
 			dst[i] = dst[i][:n]
 		}
 	}
-	if _, err := s.serveSSSPDists(ctx, l, srcs, dst); err != nil {
+	t0 := s.m.nowIf()
+	gr, err := s.serveSSSPDists(ctx, l, srcs, dst)
+	s.m.record(KindSSSP, gr.kernel, l, int32(gr.tasks), wait, s.m.sinceNs(t0), err)
+	if err != nil {
 		return dst, err
 	}
 	s.served[KindSSSP].Add(int64(len(srcs)))
 	s.batches.Add(1)
 	s.batched.Add(int64(len(srcs)))
+	s.coalesceIn.Add(int64(gr.in))
+	s.coalesceOut.Add(int64(gr.tasks))
 	return dst, nil
 }
 

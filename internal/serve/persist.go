@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/reproerr"
 	"repro/internal/shortcut"
 	"repro/internal/snapio"
@@ -332,6 +333,10 @@ type LoadOptions struct {
 	// this process (or an equally trusted builder) just wrote. A corrupt
 	// file loaded with SkipVerify can panic or serve wrong answers.
 	SkipVerify bool
+	// Metrics records load observability into the registry: load counts by
+	// path (lcs_snapshot_load_total{path="mmap"|"heap"}), bytes loaded, and
+	// checksum-verification time. nil = uninstrumented (the default).
+	Metrics *obs.Registry
 }
 
 // LoadSnapshot opens a persisted snapshot. On the mmap path the snapshot's
@@ -409,8 +414,12 @@ func snapshotFromFile(f *snapio.File, opts LoadOptions) (*Snapshot, error) {
 	}
 	verify := !opts.SkipVerify
 	if verify {
+		t0 := time.Now()
 		if err := f.Verify(); err != nil {
 			return nil, err
+		}
+		if opts.Metrics != nil {
+			opts.Metrics.Histogram("lcs_snapshot_verify_ns").Observe(time.Since(t0).Nanoseconds())
 		}
 	}
 
@@ -633,6 +642,14 @@ func snapshotFromFile(f *snapio.File, opts LoadOptions) (*Snapshot, error) {
 		ri.Touched = touched64
 		sn.repair = &ri
 	}
+	if reg := opts.Metrics; reg != nil {
+		path := "heap"
+		if f.Mapped() {
+			path = "mmap"
+		}
+		reg.Counter("lcs_snapshot_load_total", "path", path).Inc()
+		reg.Counter("lcs_snapshot_load_bytes_total").Add(int64(f.Size()))
+	}
 	return &sn, nil
 }
 
@@ -812,6 +829,7 @@ func (st *Store) SwapFromFile(path string, opts LoadOptions) (*Snapshot, uint64,
 	if cur != nil && cur.samplingSeed == sn.samplingSeed && sn.generation <= cur.generation {
 		gen := sn.generation
 		sn.Close()
+		st.m.staleRejected()
 		return nil, 0, reproerr.Invalid(op,
 			"stale snapshot: shipped generation %d, active generation %d (same chain, seed %#x)",
 			gen, cur.generation, cur.samplingSeed)
@@ -836,6 +854,7 @@ func (st *Store) SwapFromFileCtx(ctx context.Context, path string, opts LoadOpti
 	if cur != nil && cur.samplingSeed == sn.samplingSeed && sn.generation <= cur.generation {
 		gen := sn.generation
 		sn.Close()
+		st.m.staleRejected()
 		return nil, reproerr.Invalid(op,
 			"stale snapshot: shipped generation %d, active generation %d (same chain, seed %#x)",
 			gen, cur.generation, cur.samplingSeed)

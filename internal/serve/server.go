@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/reproerr"
 	"repro/internal/sched"
 	"repro/internal/sssp"
@@ -33,6 +35,24 @@ type ServerOptions struct {
 	// way — the knob exists for benchmarking the kernels against each other
 	// and as an escape hatch.
 	DisableBitParallel bool
+	// Metrics attaches an observability registry: per-kind latency and
+	// queue-wait histograms, executor-pool utilization, kernel-routing and
+	// coalescing counters, the sched bridge, and per-execution trace
+	// records. nil (the default) is the uninstrumented server — the hot
+	// paths then skip even their clock reads, and both modes keep the
+	// CI-enforced 0 allocs/op warm paths (every instrument write is atomic
+	// arithmetic on preallocated state).
+	Metrics *obs.Registry
+	// TraceDepth sizes the registry's query-trace ring on first
+	// registration (0 = obs.DefaultTraceDepth). Only meaningful with
+	// Metrics; if the registry already has a ring, that ring is shared.
+	TraceDepth int
+	// ProfileLabels wraps executor execution in runtime/pprof labels
+	// (query_kind, and kernel on batched SSSP groups) so CPU profiles
+	// attribute samples per query kind. Off by default: pprof.Do allocates
+	// a labeled context per call, so enabling it trades the warm paths'
+	// 0 allocs/op for profile attribution. Independent of Metrics.
+	ProfileLabels bool
 }
 
 // Server answers typed queries from a pool of reusable executor contexts,
@@ -52,9 +72,14 @@ type Server struct {
 	opts  ServerOptions
 	pool  chan *executor
 
-	served  [numKinds]atomic.Int64
-	batches atomic.Int64
-	batched atomic.Int64
+	m    *serveMetrics // nil when ServerOptions.Metrics is nil
+	prof *profLabels   // nil unless ServerOptions.ProfileLabels
+
+	served      [numKinds]atomic.Int64
+	batches     atomic.Int64
+	batched     atomic.Int64
+	coalesceIn  atomic.Int64
+	coalesceOut atomic.Int64
 }
 
 // executor is one pooled context: every buffer a query needs, owned
@@ -125,6 +150,10 @@ func newServer(opts ServerOptions) *Server {
 	s := &Server{
 		opts: opts,
 		pool: make(chan *executor, opts.Executors),
+		m:    newServeMetrics(opts.Metrics, opts.TraceDepth, opts.Executors),
+	}
+	if opts.ProfileLabels {
+		s.prof = newProfLabels()
 	}
 	for i := 0; i < opts.Executors; i++ {
 		s.pool <- &executor{}
@@ -156,9 +185,28 @@ func (s *Server) resolve() (sn *Snapshot, ep *epoch) {
 
 func (s *Server) release(l lease) {
 	if l.ep != nil {
-		l.ep.unpin()
+		l.ep.unpin(true)
 	}
 	s.pool <- l.ex
+	s.m.release()
+}
+
+// timedCheckout is checkoutCtx plus queue-wait and utilization accounting
+// when metrics are enabled; the uninstrumented server takes checkoutCtx
+// directly, with no clock reads.
+func (s *Server) timedCheckout(ctx context.Context) (lease, int64, error) {
+	if s.m == nil {
+		l, err := s.checkoutCtx(ctx)
+		return l, 0, err
+	}
+	t0 := time.Now()
+	l, err := s.checkoutCtx(ctx)
+	wait := time.Since(t0).Nanoseconds()
+	if err != nil {
+		return l, wait, err
+	}
+	s.m.checkout(wait)
+	return l, wait, nil
 }
 
 // checkoutCtx waits for a free executor or for the context, then pins the
@@ -226,19 +274,54 @@ func (s *Server) serveOne(ctx context.Context, q Query) (Answer, error) {
 	if q == nil {
 		return nil, reproerr.Invalid("serve", "nil query")
 	}
-	l, err := s.checkoutCtx(ctx)
+	l, wait, err := s.timedCheckout(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer s.release(l)
-	return s.serveOn(ctx, l, q)
+	t0 := s.m.nowIf()
+	a, err := s.serveOn(ctx, l, q)
+	kernel := kernelForKind(q.queryKind())
+	s.m.record(q.queryKind(), kernel, l, 1, wait, s.m.sinceNs(t0), err)
+	if err == nil {
+		s.m.kernelRun(kernel)
+	}
+	return a, err
 }
 
-// serveOn executes one query against the lease's pinned snapshot. Every
-// read of serving state goes through l.sn — never through the server's
-// construction-time fields — so the answer is internally consistent even if
-// the store swaps mid-query.
+// kernelForKind maps a single (non-batched) query to its kernel code: a
+// lone SSSP query runs the warm tree walk, the other kinds are not BFS
+// kernels at all.
+func kernelForKind(k Kind) uint8 {
+	if k == KindSSSP {
+		return kernelWalk
+	}
+	return kernelOther
+}
+
+// serveOn executes one query against the lease's pinned snapshot, under
+// pprof labels when the server profiles (ServerOptions.ProfileLabels).
 func (s *Server) serveOn(ctx context.Context, l lease, q Query) (Answer, error) {
+	if s.prof != nil {
+		return s.serveOnProf(ctx, l, q)
+	}
+	return s.serveOnDirect(ctx, l, q)
+}
+
+// serveOnProf is serveOnDirect under the query kind's pprof label set. It
+// lives in its own method (not an inline closure in serveOn) so the
+// closure's captures heap-allocate only on the profiling path — the
+// unprofiled paths must keep their 0 allocs/op.
+func (s *Server) serveOnProf(ctx context.Context, l lease, q Query) (a Answer, err error) {
+	doProf(ctx, s.prof.kind[q.queryKind()], func() { a, err = s.serveOnDirect(ctx, l, q) })
+	return a, err
+}
+
+// serveOnDirect executes one query against the lease's pinned snapshot.
+// Every read of serving state goes through l.sn — never through the
+// server's construction-time fields — so the answer is internally
+// consistent even if the store swaps mid-query.
+func (s *Server) serveOnDirect(ctx context.Context, l lease, q Query) (Answer, error) {
 	sn := l.sn
 	switch q := q.(type) {
 	case SSSPQuery:
@@ -292,17 +375,34 @@ func (s *Server) ServeSSSPInto(dst []float64, src graph.NodeID) ([]float64, erro
 // allocation-free and regression-free (CI's benchmark smoke asserts
 // 0 allocs/op on exactly this path).
 func (s *Server) ServeSSSPIntoCtx(ctx context.Context, dst []float64, src graph.NodeID) ([]float64, error) {
-	l, err := s.checkoutCtx(ctx)
+	l, wait, err := s.timedCheckout(ctx)
 	if err != nil {
 		return dst, err
 	}
 	defer s.release(l)
-	out, err := l.sn.ti.DistancesInto(dst, src, &l.ex.treeScratch)
+	t0 := s.m.nowIf()
+	var out []float64
+	if s.prof != nil {
+		out, err = s.distancesIntoProf(ctx, l, dst, src)
+	} else {
+		out, err = l.sn.ti.DistancesInto(dst, src, &l.ex.treeScratch)
+	}
+	s.m.record(KindSSSP, kernelWalk, l, 1, wait, s.m.sinceNs(t0), err)
 	if err != nil {
 		return out, err
 	}
+	s.m.kernelRun(kernelWalk)
 	s.served[KindSSSP].Add(1)
 	return out, nil
+}
+
+// distancesIntoProf is the warm walk under pprof labels; a separate method
+// for the same escape-analysis reason as serveOnProf.
+func (s *Server) distancesIntoProf(ctx context.Context, l lease, dst []float64, src graph.NodeID) (out []float64, err error) {
+	doProf(ctx, s.prof.kernel[kernelWalk], func() {
+		out, err = l.sn.ti.DistancesInto(dst, src, &l.ex.treeScratch)
+	})
+	return out, err
 }
 
 // Stats is a point-in-time snapshot of serving counters.
@@ -313,6 +413,12 @@ type Stats struct {
 	// carried.
 	Batches        int64
 	BatchedQueries int64
+	// CoalesceIn counts SSSP queries that entered batched group execution;
+	// CoalesceOut the distinct-root tasks actually run after duplicate-root
+	// coalescing. CoalesceIn - CoalesceOut is the number of queries answered
+	// by copying another task's distances — the coalescing hit count.
+	CoalesceIn  int64
+	CoalesceOut int64
 }
 
 // Total returns the total number of answered queries.
@@ -330,5 +436,7 @@ func (s *Server) Stats() Stats {
 		Quality:        s.served[KindQuality].Load(),
 		Batches:        s.batches.Load(),
 		BatchedQueries: s.batched.Load(),
+		CoalesceIn:     s.coalesceIn.Load(),
+		CoalesceOut:    s.coalesceOut.Load(),
 	}
 }

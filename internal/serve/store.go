@@ -4,7 +4,9 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/reproerr"
 )
 
@@ -26,6 +28,18 @@ type Store struct {
 
 	pending atomic.Int64 // retired epochs not yet drained
 	swaps   atomic.Int64
+
+	m *storeMetrics // nil when StoreOptions.Metrics is nil
+}
+
+// StoreOptions configures NewStoreWith.
+type StoreOptions struct {
+	// Metrics attaches an observability registry: swap count and latency,
+	// drain waits, current lease pins, stale-generation rejections, and the
+	// active epoch/generation gauges. nil (the default) is the
+	// uninstrumented store. Share the registry with the servers over this
+	// store so one exposition covers the whole serving stack.
+	Metrics *obs.Registry
 }
 
 // epoch is one link of the snapshot chain: the snapshot plus a reference
@@ -44,11 +58,17 @@ type epoch struct {
 
 // NewStore creates a store serving snap at epoch 1.
 func NewStore(snap *Snapshot) *Store {
-	st := &Store{}
+	return NewStoreWith(snap, StoreOptions{})
+}
+
+// NewStoreWith is NewStore with options.
+func NewStoreWith(snap *Snapshot, opts StoreOptions) *Store {
+	st := &Store{m: newStoreMetrics(opts.Metrics)}
 	e := &epoch{seq: 1, snap: snap, st: st, drained: make(chan struct{})}
 	e.refs.Store(1)
 	st.seq = 1
 	st.active.Store(e)
+	st.m.activated(e)
 	return st
 }
 
@@ -79,16 +99,22 @@ func (st *Store) pin() *epoch {
 			continue // swapped out and drained between Load and here; reload
 		}
 		if e.refs.CompareAndSwap(r, r+1) {
+			st.m.pinned(1)
 			return e
 		}
 	}
 }
 
 // unpin releases one reference; the final release of a retired epoch marks
-// it drained.
-func (e *epoch) unpin() {
+// it drained. reader distinguishes a query lease release from the store
+// dropping its own active reference at swap — only lease releases move the
+// pins gauge.
+func (e *epoch) unpin(reader bool) {
+	if reader {
+		e.st.m.pinned(-1)
+	}
 	if e.refs.Add(-1) == 0 {
-		e.st.pending.Add(-1)
+		e.st.m.drainedEpoch(e.st.pending.Add(-1))
 		close(e.drained)
 	}
 }
@@ -102,6 +128,7 @@ func (st *Store) Swap(snap *Snapshot) (*Snapshot, uint64) {
 }
 
 func (st *Store) swap(snap *Snapshot) (*epoch, uint64) {
+	t0 := st.m.nowIf()
 	st.swapMu.Lock()
 	old := st.active.Load()
 	st.seq++
@@ -111,7 +138,8 @@ func (st *Store) swap(snap *Snapshot) (*epoch, uint64) {
 	st.active.Store(e)
 	st.swapMu.Unlock()
 	st.swaps.Add(1)
-	old.unpin() // drop the store's reference; drain completes when readers do
+	st.m.swapped(e, st.pending.Load(), st.m.sinceNs(t0))
+	old.unpin(false) // drop the store's reference; drain completes when readers do
 	return old, e.seq
 }
 
@@ -123,19 +151,121 @@ func (st *Store) swap(snap *Snapshot) (*epoch, uint64) {
 // progress, never that the swap failed. A nil ctx waits indefinitely.
 func (st *Store) SwapCtx(ctx context.Context, snap *Snapshot) (*Snapshot, error) {
 	old, _ := st.swap(snap)
+	t0 := st.m.nowIf()
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
 	}
 	select {
 	case <-old.drained:
+		st.m.drainWaited(st.m.sinceNs(t0))
 		return old.snap, nil
 	default:
 	}
 	select {
 	case <-old.drained:
+		st.m.drainWaited(st.m.sinceNs(t0))
 		return old.snap, nil
 	case <-done:
 		return old.snap, reproerr.FromContext("serve.SwapCtx", ctx.Err())
 	}
+}
+
+// storeMetrics is the store's instrument bundle. A nil *storeMetrics is the
+// uninstrumented store: every method no-ops and the swap paths skip their
+// clock reads.
+type storeMetrics struct {
+	swaps       *obs.Counter   // lcs_store_swaps_total
+	swapNs      *obs.Histogram // lcs_store_swap_ns
+	drainWaitNs *obs.Histogram // lcs_store_drain_wait_ns
+	pins        *obs.Gauge     // lcs_store_lease_pins
+	stale       *obs.Counter   // lcs_store_stale_rejections_total
+	epoch       *obs.Gauge     // lcs_store_epoch
+	generation  *obs.Gauge     // lcs_store_generation
+	pendingEp   *obs.Gauge     // lcs_store_pending_epochs
+}
+
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &storeMetrics{
+		swaps:       reg.Counter("lcs_store_swaps_total"),
+		swapNs:      reg.Histogram("lcs_store_swap_ns"),
+		drainWaitNs: reg.Histogram("lcs_store_drain_wait_ns"),
+		pins:        reg.Gauge("lcs_store_lease_pins"),
+		stale:       reg.Counter("lcs_store_stale_rejections_total"),
+		epoch:       reg.Gauge("lcs_store_epoch"),
+		generation:  reg.Gauge("lcs_store_generation"),
+		pendingEp:   reg.Gauge("lcs_store_pending_epochs"),
+	}
+}
+
+// activated records the initial epoch.
+func (m *storeMetrics) activated(e *epoch) {
+	if m == nil {
+		return
+	}
+	m.epoch.Set(int64(e.seq))
+	if e.snap != nil {
+		m.generation.Set(int64(e.snap.generation))
+	}
+}
+
+// swapped records one completed swap and the new active epoch.
+func (m *storeMetrics) swapped(e *epoch, pending, swapNs int64) {
+	if m == nil {
+		return
+	}
+	m.swaps.Inc()
+	m.swapNs.Observe(swapNs)
+	m.pendingEp.Set(pending)
+	m.activated(e)
+}
+
+// pinned moves the current-lease-pins gauge.
+func (m *storeMetrics) pinned(d int64) {
+	if m == nil {
+		return
+	}
+	m.pins.Add(d)
+}
+
+// drainedEpoch records a retired epoch finishing its drain.
+func (m *storeMetrics) drainedEpoch(pending int64) {
+	if m == nil {
+		return
+	}
+	m.pendingEp.Set(pending)
+}
+
+// drainWaited records one successful post-swap drain wait.
+func (m *storeMetrics) drainWaited(ns int64) {
+	if m == nil {
+		return
+	}
+	m.drainWaitNs.Observe(ns)
+}
+
+// staleRejected counts a SwapFromFile rejection of a stale shipped
+// snapshot.
+func (m *storeMetrics) staleRejected() {
+	if m == nil {
+		return
+	}
+	m.stale.Inc()
+}
+
+func (m *storeMetrics) nowIf() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (m *storeMetrics) sinceNs(t0 time.Time) int64 {
+	if m == nil {
+		return 0
+	}
+	return time.Since(t0).Nanoseconds()
 }

@@ -32,7 +32,7 @@ func TestStoreSwapAndDrain(t *testing.T) {
 		t.Fatal("epoch drained while pinned")
 	default:
 	}
-	e.unpin()
+	e.unpin(true)
 	select {
 	case <-e.drained:
 	default:
@@ -68,7 +68,7 @@ func TestStoreSwapCtxCanceledWhilePinned(t *testing.T) {
 	if st.Pending() != 1 {
 		t.Fatalf("pending = %d, want 1", st.Pending())
 	}
-	e.unpin()
+	e.unpin(true)
 	if st.Pending() != 0 {
 		t.Fatalf("pending = %d after unpin", st.Pending())
 	}
@@ -89,8 +89,8 @@ func TestStorePinNeverResurrects(t *testing.T) {
 	if old.snap != a {
 		t.Fatalf("pre-swap pin drifted")
 	}
-	fresh.unpin()
-	old.unpin()
+	fresh.unpin(true)
+	old.unpin(true)
 	select {
 	case <-old.drained:
 	default:
@@ -102,5 +102,5 @@ func TestStorePinNeverResurrects(t *testing.T) {
 	if again.snap != b {
 		t.Fatal("pin landed on a drained epoch")
 	}
-	again.unpin()
+	again.unpin(true)
 }

@@ -230,6 +230,10 @@ func (f *File) Header() Header { return f.hdr }
 // (true) or a heap copy (false).
 func (f *File) Mapped() bool { return f.mapped }
 
+// Size returns the total byte size of the file image (the mapping length on
+// the mmap path, the heap copy's length otherwise; 0 after Close).
+func (f *File) Size() int { return len(f.data) }
+
 // Sections returns the decoded section table in file order. Shared — do not
 // mutate.
 func (f *File) Sections() []Section { return f.sections }
