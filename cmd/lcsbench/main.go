@@ -90,6 +90,7 @@ func run(args []string, stdout io.Writer) error {
 		serveQ     = fs.Int("serve-queries", 0, "warm queries per E14 sweep point (0 = default)")
 		serveExecs = fs.String("serve-executors", "", "comma-separated executor-pool sizes for E14")
 		serveBatch = fs.String("serve-batches", "", "comma-separated batch sizes for E14")
+		serveAddr  = fs.String("serve-addr", "", "host:port of a running lcsserve; E14 additionally drives it over HTTP and records wire-vs-library overhead")
 
 		deltaSizes = fs.String("delta", "", "comma-separated delta-size sweep for the E15 dynamic-update experiment (implies 'dynamic' when no experiment is named)")
 
@@ -121,6 +122,8 @@ func run(args []string, stdout io.Writer) error {
 		target = "dynamic"
 	case fs.NArg() == 0 && *snapshotIn != "":
 		target = "serving"
+	case fs.NArg() == 0 && *serveAddr != "":
+		target = "serving"
 	case fs.NArg() == 0 && *persistSizes != "":
 		target = "persistence"
 	default:
@@ -139,6 +142,7 @@ func run(args []string, stdout io.Writer) error {
 		LogFactor:    *logFactor,
 		Quick:        *quick,
 		ServeQueries: *serveQ,
+		ServeAddr:    *serveAddr,
 		SnapshotIn:   *snapshotIn,
 		SnapshotOut:  *snapshotOut,
 		Ctx:          ctx,

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"math/rand"
+	"time"
 
 	"repro/internal/mincut"
 	"repro/internal/obs"
@@ -90,6 +91,15 @@ type Config struct {
 	Metrics       *obs.Registry
 	TraceDepth    int
 	ProfileLabels bool
+	// QueueDepth, BatchWindow, MaxBatch, and RequestTimeout configure the
+	// gateway front end (NewGateway): admission capacity before shedding,
+	// the sssp coalescing window, its early-flush size, and the default
+	// per-request deadline. Zero values are the gateway defaults:
+	// 4× executors, coalescing off, 64, no deadline.
+	QueueDepth     int
+	BatchWindow    time.Duration
+	MaxBatch       int
+	RequestTimeout time.Duration
 
 	err error // first invalid option, reported by the entry point
 }
@@ -333,6 +343,58 @@ func WithTraceDepth(n int) Option {
 // kind. Off by default: the labeled context allocates per query, so
 // enabling it trades the warm paths' 0 allocs/op for attribution.
 func WithProfileLabels(on bool) Option { return func(c *Config) { c.ProfileLabels = on } }
+
+// WithQueueDepth caps a gateway's admission pool: the number of requests
+// admitted at once, executing or parked in a coalescing window. Requests
+// beyond it are shed immediately with 429 / KindBudgetExceeded
+// (0 = 4× the server's executor pool).
+func WithQueueDepth(n int) Option {
+	return func(c *Config) {
+		if n < 0 {
+			c.fail("queue depth %d < 0", n)
+			return
+		}
+		c.QueueDepth = n
+	}
+}
+
+// WithBatchWindow sets a gateway's sssp coalescing window: the first sssp
+// query opens a window of this length, and every sssp query arriving
+// within it joins one batched execution whose duplicate-root coalescing
+// answers identical roots with a single traversal (0 = coalescing off).
+func WithBatchWindow(d time.Duration) Option {
+	return func(c *Config) {
+		if d < 0 {
+			c.fail("batch window %v < 0", d)
+			return
+		}
+		c.BatchWindow = d
+	}
+}
+
+// WithMaxBatch flushes a gateway's coalescing window early once this many
+// queries are parked (0 = 64, the bit-parallel kernel's word width).
+func WithMaxBatch(n int) Option {
+	return func(c *Config) {
+		if n < 0 {
+			c.fail("max batch %d < 0", n)
+			return
+		}
+		c.MaxBatch = n
+	}
+}
+
+// WithRequestTimeout bounds gateway requests that carry no Request-Timeout
+// header (0 = no implicit deadline).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *Config) {
+		if d < 0 {
+			c.fail("request timeout %v < 0", d)
+			return
+		}
+		c.RequestTimeout = d
+	}
+}
 
 // splitmix64 is the SplitMix64 finalizer — the derivation behind WithSeed
 // and the server's per-query randomness.

@@ -35,6 +35,15 @@ const (
 // chain, or KindUnknown when there is none.
 func ErrorKindOf(err error) ErrorKind { return reproerr.KindOf(err) }
 
+// HTTPStatus maps an ErrorKind to its HTTP status code — the single
+// taxonomy→wire table the gateway serves: 400 invalid input, 422 corrupt,
+// 429 budget exceeded, 499 canceled, 504 deadline, 500 otherwise.
+func HTTPStatus(k ErrorKind) int { return reproerr.HTTPStatus(k) }
+
+// HTTPStatusOf is HTTPStatus over ErrorKindOf: the status of err's
+// outermost classified error, 500 for unclassified errors, 200 for nil.
+func HTTPStatusOf(err error) int { return reproerr.HTTPStatusOf(err) }
+
 // Sentinel causes, wrapped by KindBudgetExceeded / KindBandwidth errors so
 // pre-taxonomy errors.Is checks keep working.
 var (

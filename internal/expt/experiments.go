@@ -41,6 +41,11 @@ type Config struct {
 	ServeExecutors []int
 	// ServeBatches is the batch-size sweep of E14 (nil = default).
 	ServeBatches []int
+	// ServeAddr, when set (host:port of a running lcsserve), makes E14
+	// additionally drive that server over HTTP — the same SSSP workload
+	// POSTed to /v1/query — and record wire rows next to the library rows,
+	// so the envelope captures the full wire-vs-library overhead.
+	ServeAddr string
 	// DeltaSizes is the delta-size sweep of E15 (nil = default).
 	DeltaSizes []int
 	// SnapshotIn, when set, makes E14 load its snapshot from this file

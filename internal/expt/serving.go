@@ -1,8 +1,13 @@
 package expt
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -96,7 +101,7 @@ func E14Serving(cfg Config) (*Table, error) {
 	// answers are identical, so any qps gap is pure kernel throughput.
 	// Single-query points (batch 1) take the warm tree walk; no batch kernel
 	// ever runs, so they get one "walk" row.
-	var warmPer time.Duration
+	var warmPer, warmSinglePer time.Duration
 	for _, executors := range cfg.ServeExecutors {
 		for _, batch := range cfg.ServeBatches {
 			kernels := []string{"walk"}
@@ -117,11 +122,48 @@ func E14Serving(cfg Config) (*Table, error) {
 				if warmPer == 0 || per < warmPer {
 					warmPer = per
 				}
+				if batch == 1 && (warmSinglePer == 0 || per < warmSinglePer) {
+					warmSinglePer = per
+				}
 				qps := float64(time.Second) / float64(per)
 				t.AddRow(I(g.NumNodes()), I(executors), I(batch), kernel, I(cfg.ServeQueries),
 					F(qps), F(float64(per)/float64(time.Millisecond)), F(rebuildQPS), F(qps/rebuildQPS),
 					F(float64(simRounds)/float64(cfg.ServeQueries)))
 			}
+		}
+	}
+
+	// Wire mode: the same single-query workload POSTed at a running
+	// lcsserve, so the envelope records wire-vs-library overhead side by
+	// side. The remote serves its own snapshot; a probe query discovers its
+	// n (sources rotate modulo the remote graph, not the local one).
+	if cfg.ServeAddr != "" {
+		wireN, err := probeWireN(cfg.ctx(), cfg.ServeAddr)
+		if err != nil {
+			return nil, fmt.Errorf("E14: -serve-addr %s: %w", cfg.ServeAddr, err)
+		}
+		var wirePer time.Duration
+		for _, clients := range cfg.ServeExecutors {
+			elapsed, simRounds, err := fireWireQueries(cfg.ctx(), cfg.ServeAddr, wireN, cfg.ServeQueries, clients)
+			if err != nil {
+				return nil, fmt.Errorf("E14 wire clients=%d: %w", clients, err)
+			}
+			per := elapsed / time.Duration(cfg.ServeQueries)
+			if wirePer == 0 || per < wirePer {
+				wirePer = per
+			}
+			qps := float64(time.Second) / float64(per)
+			t.AddRow(I(wireN), I(clients), I(1), "wire", I(cfg.ServeQueries),
+				F(qps), F(float64(per)/float64(time.Millisecond)), F(rebuildQPS), F(qps/rebuildQPS),
+				F(float64(simRounds)/float64(cfg.ServeQueries)))
+		}
+		if warmSinglePer > 0 {
+			overhead := wirePer - warmSinglePer
+			t.AddNote("wire (%s): %s/query vs %s/query in-process — %s HTTP+JSON overhead",
+				cfg.ServeAddr, wirePer.Round(time.Microsecond), warmSinglePer.Round(time.Microsecond),
+				overhead.Round(time.Microsecond))
+			t.SetMeta("wire_ms_per_query", float64(wirePer)/float64(time.Millisecond))
+			t.SetMeta("wire_overhead_ms", float64(wirePer-warmSinglePer)/float64(time.Millisecond))
 		}
 	}
 
@@ -197,6 +239,102 @@ func fireQueries(ctx context.Context, srv *serve.Server, n, q, executors, batch 
 				// The batch shares one scheduled execution; charge its
 				// rounds once.
 				local += int64(answers[0].(*serve.SSSPAnswer).Rounds)
+			}
+			mu.Lock()
+			simRounds += local
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return 0, 0, err
+	}
+	return time.Since(start), simRounds, nil
+}
+
+// wireAnswer is the slice of the gateway's QueryResponse the sweep needs:
+// the dist length (to discover the remote n) and the simulated rounds.
+type wireAnswer struct {
+	SSSP struct {
+		Dist []*float64 `json:"dist"`
+	} `json:"sssp"`
+	Rounds int `json:"rounds"`
+}
+
+// postWireQuery POSTs one SSSP query at addr's /v1/query and decodes the
+// answer. Non-200 statuses surface with the wire error body.
+func postWireQuery(ctx context.Context, client *http.Client, addr string, src int) (wireAnswer, error) {
+	var ans wireAnswer
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	body := fmt.Sprintf(`{"kind":"sssp","source":%d}`, src)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/query", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return ans, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return ans, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return ans, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ans, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if err := json.Unmarshal(raw, &ans); err != nil {
+		return ans, fmt.Errorf("undecodable answer: %w", err)
+	}
+	return ans, nil
+}
+
+// probeWireN fires one query at the remote server to learn its graph size.
+func probeWireN(ctx context.Context, addr string) (int, error) {
+	ans, err := postWireQuery(ctx, http.DefaultClient, addr, 0)
+	if err != nil {
+		return 0, err
+	}
+	if len(ans.SSSP.Dist) == 0 {
+		return 0, fmt.Errorf("probe answer has no dist vector")
+	}
+	return len(ans.SSSP.Dist), nil
+}
+
+// fireWireQueries is fireQueries' wire twin: q single SSSP queries POSTed at
+// a running lcsserve from `clients` concurrent connections, same rotating
+// source schedule. Returns wall-clock time and summed simulated rounds as
+// reported by the server.
+func fireWireQueries(ctx context.Context, addr string, n, q, clients int) (time.Duration, int64, error) {
+	if clients <= 0 {
+		clients = 1
+	}
+	per := (q + clients - 1) / clients
+	var (
+		simRounds int64
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+	)
+	client := &http.Client{}
+	errs := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var local int64
+			for i := c * per; i < minInt((c+1)*per, q); i++ {
+				ans, err := postWireQuery(ctx, client, addr, i*31%n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				local += int64(ans.Rounds)
 			}
 			mu.Lock()
 			simRounds += local

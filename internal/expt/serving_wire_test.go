@@ -1,0 +1,94 @@
+package expt
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// TestE14WireMode points the E14 sweep at a live gateway (the lcsbench
+// -serve-addr shape) and requires wire rows next to the library rows, with
+// the overhead note and meta recorded.
+func TestE14WireMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rng := rand.New(rand.NewSource(11))
+	g, err := gen.ClusterChain(300, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := graph.NewUniformWeights(g.NumEdges(), rng)
+	parts, err := gen.VoronoiParts(g, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := serve.NewSnapshot(g, w, parts, serve.SnapshotOptions{Rng: rng, LogFactor: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(snap, serve.ServerOptions{Executors: 2, Seed: 7})
+	gw, err := gateway.New(srv, gateway.Options{QueueDepth: 16, BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+
+	cfg := Config{
+		Quick:          true,
+		Seed:           7,
+		DistSizes:      []int{300},
+		ServeQueries:   8,
+		ServeExecutors: []int{1, 2},
+		ServeBatches:   []int{1},
+		ServeAddr:      ts.Listener.Addr().String(),
+	}
+	tbl, err := E14Serving(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wireRows := 0
+	for _, row := range tbl.Rows {
+		if row[3] == "wire" {
+			wireRows++
+			// n is the remote graph's, discovered by the probe.
+			if row[0] != I(300) {
+				t.Fatalf("wire row n = %v, want 300", row[0])
+			}
+		}
+	}
+	if wireRows != 2 {
+		t.Fatalf("wire rows = %d, want one per client count", wireRows)
+	}
+	if _, ok := tbl.Meta["wire_ms_per_query"]; !ok {
+		t.Fatal("meta missing wire_ms_per_query")
+	}
+	if _, ok := tbl.Meta["wire_overhead_ms"]; !ok {
+		t.Fatal("meta missing wire_overhead_ms")
+	}
+	found := false
+	for _, note := range tbl.Notes {
+		if strings.Contains(note, "HTTP+JSON overhead") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing wire overhead note; notes: %q", tbl.Notes)
+	}
+
+	// A dead address fails loudly, not silently without wire rows.
+	cfg.ServeAddr = "127.0.0.1:1"
+	if _, err := E14Serving(cfg); err == nil {
+		t.Fatal("dead serve-addr accepted")
+	}
+}

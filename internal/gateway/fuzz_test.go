@@ -1,0 +1,83 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// FuzzGatewayRequest fuzzes the /v1/query decode-and-serve path with
+// arbitrary bodies. The contract: the handler never panics, never hangs,
+// and always answers either 200 with a well-formed QueryResponse or a
+// taxonomy-mapped error status with a well-formed ErrorResponse — every
+// malformed body is a typed 400, never a 500.
+func FuzzGatewayRequest(f *testing.F) {
+	fx := makeFixture(f, 48, 17)
+	gw, err := New(serve.NewServer(fx.snap, serve.ServerOptions{Executors: 2, Seed: 7}),
+		Options{QueueDepth: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(gw.Close)
+	h := gw.Handler()
+
+	for _, seed := range []string{
+		`{"kind":"sssp","source":0}`,
+		`{"kind":"sssp","source":47}`,
+		`{"kind":"mst"}`,
+		`{"kind":"mincut","eps":0.5}`,
+		`{"kind":"twoecss"}`,
+		`{"kind":"quality","part":1}`,
+		`{"kind":"sssp"}`,
+		`{"kind":"sssp","source":-1}`,
+		`{"kind":"sssp","source":99999999999}`,
+		`{"kind":"mincut","eps":1e-300}`,
+		`{"kind":"quality","part":-5}`,
+		`{"kind":"pagerank"}`,
+		`{"kind":`,
+		`null`,
+		`[]`,
+		`""`,
+		`{"kind":"mst","extra":true}`,
+		`{"kind":"mst"} trailing`,
+		"\x00\x01\x02",
+		``,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case 200:
+			var resp QueryResponse
+			dec := json.NewDecoder(bytes.NewReader(rec.Body.Bytes()))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&resp); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", rec.Body.Bytes(), err)
+			}
+			if resp.Kind == "" {
+				t.Fatalf("200 without a kind: %q", rec.Body.Bytes())
+			}
+		case 400:
+			var e ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+				t.Fatalf("400 with undecodable body %q: %v", rec.Body.Bytes(), err)
+			}
+			if e.Kind != "invalid input" {
+				t.Fatalf("400 with kind %q", e.Kind)
+			}
+		default:
+			// Deadlines/cancellation/shedding can't happen here: no
+			// Request-Timeout header, no concurrent load, depth 8. Anything
+			// but serve-or-reject is a contract break.
+			t.Fatalf("unexpected status %d for body %q: %s", rec.Code, body, rec.Body.Bytes())
+		}
+	})
+}

@@ -1,0 +1,482 @@
+// Package gateway is the network front end of the serving stack: an
+// HTTP/JSON surface over serve.Server and serve.Store exposing the five
+// query kinds, batched queries, live delta application, and snapshot
+// shipping, with three concerns the library layer deliberately does not
+// own:
+//
+//   - admission control: a bounded slot pool sized from the executor pool;
+//     requests beyond capacity are shed immediately with 429
+//     (reproerr.KindBudgetExceeded) instead of queuing unboundedly, and
+//     per-request deadlines arrive via the Request-Timeout header;
+//   - request coalescing: sssp queries landing within a configurable batch
+//     window are folded into one ServeBatchCtx execution whose duplicate-
+//     root coalescing answers identical roots with a single traversal;
+//   - observability: per-endpoint request/error/latency instruments plus
+//     queue-depth, shed, and coalescing counters on the same obs.Registry
+//     the serve layer writes, exposed on an admin mux
+//     (/metrics, /healthz, /readyz).
+//
+// Everything below the HTTP layer — admission, executor checkout, the warm
+// sssp path — stays allocation-free; the JSON codec is the only allocating
+// stage, and it is the wire format's price, not the gateway's.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/reproerr"
+	"repro/internal/serve"
+)
+
+// Options configures a Gateway. The zero value serves: admission defaults
+// to 4× the server's executor pool, coalescing is off (BatchWindow 0), and
+// the gateway is uninstrumented.
+type Options struct {
+	// QueueDepth caps the number of requests admitted at once — executing
+	// or parked in a coalescing window. Requests beyond it are shed with
+	// 429. 0 selects 4× the server's executor pool.
+	QueueDepth int
+	// BatchWindow is the sssp coalescing window: the first sssp query opens
+	// a window, every sssp query arriving within it joins the same batched
+	// execution. 0 disables coalescing (every query serves directly).
+	BatchWindow time.Duration
+	// MaxBatch flushes a window early once this many queries are parked.
+	// 0 selects 64, the bit-parallel kernel's word width.
+	MaxBatch int
+	// DefaultTimeout bounds requests that carry no Request-Timeout header.
+	// 0 means no implicit deadline.
+	DefaultTimeout time.Duration
+	// DeltaWorkers selects the scheduler parallelism of /v1/delta repairs
+	// (serve.DeltaOptions.Workers); 0 = sequential, identical results
+	// either way.
+	DeltaWorkers int
+	// DeltaMaxRounds bounds each delta repair's scheduled verification
+	// phases (0 = default).
+	DeltaMaxRounds int
+	// Metrics attaches the gateway's instrument set. Pass the same registry
+	// as the server's so /metrics exposes both layers in one scrape. nil =
+	// uninstrumented.
+	Metrics *obs.Registry
+}
+
+// Gateway is the HTTP front end over one serve.Server. Create with New,
+// mount Handler on the serving listener and AdminHandler on the admin
+// listener, and Close on shutdown (flushes coalescing windows and waits for
+// their executions — no goroutine outlives Close).
+type Gateway struct {
+	srv   *serve.Server
+	store *serve.Store
+	opts  Options
+	slots chan struct{}
+	co    *coalescer
+	m     *gwMetrics
+
+	base   context.Context
+	cancel context.CancelFunc
+
+	// deltaMu serializes the two mutating endpoints (/v1/delta and
+	// /v1/snapshot/swap): repairs apply to the snapshot they loaded, so two
+	// concurrent repairs would silently drop one delta without it.
+	deltaMu sync.Mutex
+
+	draining  atomic.Bool
+	closeOnce sync.Once
+}
+
+// errShed is the preallocated admission rejection — shedding under
+// overload must not allocate.
+var errShed = reproerr.New("gateway.admit", reproerr.KindBudgetExceeded,
+	nil)
+
+// New wraps srv in a Gateway. The server's store (if any) powers /v1/delta
+// and /v1/snapshot/swap; a storeless server rejects those endpoints with
+// 400.
+func New(srv *serve.Server, opts Options) (*Gateway, error) {
+	const op = "gateway.New"
+	if srv == nil {
+		return nil, reproerr.Invalid(op, "nil server")
+	}
+	if opts.QueueDepth < 0 {
+		return nil, reproerr.Invalid(op, "QueueDepth %d must be >= 0", opts.QueueDepth)
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = 4 * srv.Executors()
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
+	if opts.BatchWindow < 0 {
+		return nil, reproerr.Invalid(op, "BatchWindow %v must be >= 0", opts.BatchWindow)
+	}
+	g := &Gateway{
+		srv:   srv,
+		store: srv.Store(),
+		opts:  opts,
+		slots: make(chan struct{}, opts.QueueDepth),
+		m:     newGwMetrics(opts.Metrics),
+	}
+	g.base, g.cancel = context.WithCancel(context.Background())
+	if opts.BatchWindow > 0 {
+		g.co = newCoalescer(srv, g.base, opts.BatchWindow, opts.MaxBatch, g.m)
+	}
+	return g, nil
+}
+
+// Close drains the gateway: flushes any open coalescing window, waits for
+// its executions, and cancels the gateway's base context. Requests arriving
+// after Close are shed via /readyz-visible draining state; Close is
+// idempotent.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		g.draining.Store(true)
+		if g.co != nil {
+			g.co.close()
+		}
+		g.cancel()
+	})
+}
+
+// Handler returns the serving mux: the four /v1 endpoints, POST-only.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", g.handleQuery)
+	mux.HandleFunc("POST /v1/batch", g.handleBatch)
+	mux.HandleFunc("POST /v1/delta", g.handleDelta)
+	mux.HandleFunc("POST /v1/snapshot/swap", g.handleSwap)
+	return mux
+}
+
+// AdminHandler returns the admin mux: Prometheus/JSON metrics (when the
+// gateway has a registry), liveness, and readiness.
+func (g *Gateway) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	if g.opts.Metrics != nil {
+		mux.Handle("/metrics", obs.Handler(g.opts.Metrics))
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if g.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready\n"))
+	})
+	return mux
+}
+
+// admit claims one admission slot, shedding immediately when the pool is
+// full — the gateway never queues beyond its configured depth.
+func (g *Gateway) admit() error {
+	select {
+	case g.slots <- struct{}{}:
+		g.m.admitted(int64(len(g.slots)))
+		return nil
+	default:
+		g.m.shed.Inc()
+		return errShed
+	}
+}
+
+// done releases an admission slot.
+func (g *Gateway) done() {
+	<-g.slots
+	g.m.released(int64(len(g.slots)))
+}
+
+// requestCtx derives the request's execution context: the client's
+// connection context bounded by the Request-Timeout header (a Go duration
+// like "250ms", or a bare number of seconds), falling back to
+// DefaultTimeout. The returned cancel must always be called.
+func (g *Gateway) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := g.opts.DefaultTimeout
+	if h := r.Header.Get("Request-Timeout"); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil {
+			if secs, serr := strconv.ParseFloat(h, 64); serr == nil {
+				d, err = time.Duration(secs*float64(time.Second)), nil
+			}
+		}
+		if err != nil || d <= 0 {
+			return nil, nil, reproerr.Invalid("gateway.timeout",
+				"invalid Request-Timeout %q: want a positive Go duration or seconds", h)
+		}
+		timeout = d
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	return ctx, cancel, nil
+}
+
+// handleQuery serves POST /v1/query: one typed query, coalesced into the
+// current batch window when it is an sssp query and coalescing is on.
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	g.m.requests[epQuery].Inc()
+	defer g.m.latency[epQuery].ObserveSince(t0)
+
+	var req QueryRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		g.writeError(w, epQuery, err)
+		return
+	}
+	q, err := req.toQuery()
+	if err != nil {
+		g.writeError(w, epQuery, err)
+		return
+	}
+	if err := g.admit(); err != nil {
+		g.writeError(w, epQuery, err)
+		return
+	}
+	defer g.done()
+	ctx, cancel, err := g.requestCtx(r)
+	if err != nil {
+		g.writeError(w, epQuery, err)
+		return
+	}
+	defer cancel()
+
+	ans, err := g.serveQuery(ctx, q)
+	if err != nil {
+		g.writeError(w, epQuery, err)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, answerToResponse(ans))
+}
+
+// serveQuery routes one admitted query: sssp through the coalescer when a
+// window is configured, everything else directly to the server.
+func (g *Gateway) serveQuery(ctx context.Context, q serve.Query) (serve.Answer, error) {
+	if g.co != nil {
+		if sq, ok := q.(serve.SSSPQuery); ok {
+			if ch, ok := g.co.enqueue(sq.Source); ok {
+				select {
+				case res := <-ch:
+					if res.err != nil {
+						return nil, res.err
+					}
+					return res.ans, nil
+				case <-ctx.Done():
+					// The waiter's slot in the window still gets served;
+					// its 1-buffered channel absorbs the unread result.
+					return nil, reproerr.FromContext("gateway.coalesce", ctx.Err())
+				}
+			}
+		}
+	}
+	return g.srv.ServeCtx(ctx, q)
+}
+
+// handleBatch serves POST /v1/batch: the query list runs as one
+// ServeBatchCtx execution (one admission slot, one executor checkout), so
+// in-batch duplicate-root coalescing applies exactly as in the library.
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	g.m.requests[epBatch].Inc()
+	defer g.m.latency[epBatch].ObserveSince(t0)
+
+	var req BatchRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		g.writeError(w, epBatch, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		g.writeError(w, epBatch, reproerr.Invalid("gateway.batch", "empty batch"))
+		return
+	}
+	queries := make([]serve.Query, len(req.Queries))
+	for i := range req.Queries {
+		q, err := req.Queries[i].toQuery()
+		if err != nil {
+			g.writeError(w, epBatch, reproerr.Errorf("gateway.batch",
+				reproerr.KindInvalidInput, "queries[%d]: %w", i, err))
+			return
+		}
+		queries[i] = q
+	}
+	if err := g.admit(); err != nil {
+		g.writeError(w, epBatch, err)
+		return
+	}
+	defer g.done()
+	ctx, cancel, err := g.requestCtx(r)
+	if err != nil {
+		g.writeError(w, epBatch, err)
+		return
+	}
+	defer cancel()
+
+	answers, err := g.srv.ServeBatchCtx(ctx, queries)
+	if err != nil {
+		g.writeError(w, epBatch, err)
+		return
+	}
+	resp := BatchResponse{Answers: make([]*QueryResponse, len(answers))}
+	for i, a := range answers {
+		resp.Answers[i] = answerToResponse(a)
+	}
+	g.writeJSON(w, http.StatusOK, &resp)
+}
+
+// handleDelta serves POST /v1/delta: apply a batch of edge mutations to the
+// active snapshot and swap the repaired snapshot in under live traffic.
+// Mutations are serialized (deltaMu); queries keep flowing throughout — the
+// epoch protocol retires the old snapshot only after its readers drain.
+func (g *Gateway) handleDelta(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	g.m.requests[epDelta].Inc()
+	defer g.m.latency[epDelta].ObserveSince(t0)
+
+	if g.store == nil {
+		g.writeError(w, epDelta, reproerr.Invalid("gateway.delta",
+			"server has no store: deltas need a swappable snapshot"))
+		return
+	}
+	var req DeltaRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		g.writeError(w, epDelta, err)
+		return
+	}
+	delta, err := req.toDelta()
+	if err != nil {
+		g.writeError(w, epDelta, err)
+		return
+	}
+	ctx, cancel, err := g.requestCtx(r)
+	if err != nil {
+		g.writeError(w, epDelta, err)
+		return
+	}
+	defer cancel()
+
+	g.deltaMu.Lock()
+	defer g.deltaMu.Unlock()
+	repaired, err := serve.ApplyDelta(ctx, g.store.Snapshot(), delta, serve.DeltaOptions{
+		Workers:   g.opts.DeltaWorkers,
+		MaxRounds: g.opts.DeltaMaxRounds,
+	})
+	if err != nil {
+		g.writeError(w, epDelta, err)
+		return
+	}
+	repairMs := float64(time.Since(t0)) / float64(time.Millisecond)
+	g.store.Swap(repaired)
+	resp := DeltaResponse{
+		Epoch:      g.store.Epoch(),
+		Generation: repaired.Generation(),
+		RepairMs:   repairMs,
+	}
+	if ri := repaired.Repair(); ri != nil {
+		resp.Touched = len(ri.Touched)
+		resp.Inserted = ri.Inserted
+		resp.Deleted = ri.Deleted
+		resp.Rechecked = ri.Rechecked
+	}
+	g.writeJSON(w, http.StatusOK, &resp)
+}
+
+// handleSwap serves POST /v1/snapshot/swap: load a persisted snapshot file
+// and ship it into the live epoch protocol. The swap is unconditional once
+// the file validates; a deadline expiring during the drain wait reports
+// success with Drained:false (the retired epoch still had pinned readers).
+func (g *Gateway) handleSwap(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	g.m.requests[epSwap].Inc()
+	defer g.m.latency[epSwap].ObserveSince(t0)
+
+	if g.store == nil {
+		g.writeError(w, epSwap, reproerr.Invalid("gateway.swap",
+			"server has no store: snapshot shipping needs a swappable store"))
+		return
+	}
+	var req SwapRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		g.writeError(w, epSwap, err)
+		return
+	}
+	if req.Path == "" {
+		g.writeError(w, epSwap, reproerr.Invalid("gateway.swap", "missing snapshot path"))
+		return
+	}
+	lo := serve.LoadOptions{Metrics: g.opts.Metrics}
+	if req.Verify != nil && !*req.Verify {
+		lo.SkipVerify = true
+	}
+	if req.Mmap != nil && !*req.Mmap {
+		lo.NoMmap = true
+	}
+	ctx, cancel, err := g.requestCtx(r)
+	if err != nil {
+		g.writeError(w, epSwap, err)
+		return
+	}
+	defer cancel()
+
+	g.deltaMu.Lock()
+	defer g.deltaMu.Unlock()
+	retired, err := g.store.SwapFromFileCtx(ctx, req.Path, lo)
+	resp := SwapResponse{Drained: err == nil}
+	switch k := reproerr.KindOf(err); {
+	case err == nil:
+		// Fully drained: no query still reads the retired snapshot, so a
+		// mapped one can release its file mapping now. Heap snapshots are
+		// left to the collector — callers may still hold direct references
+		// (a rebuilt-alongside comparison server, say).
+		if retired != nil && retired.Mapped() {
+			_ = retired.Close()
+		}
+	case k == reproerr.KindCanceled || k == reproerr.KindDeadline:
+		// The swap itself happened — only the drain wait was cut short.
+		// The retired epoch keeps draining in the background; its mapping
+		// (if any) is intentionally left open for the stragglers.
+	default:
+		g.writeError(w, epSwap, err)
+		return
+	}
+	resp.Epoch = g.store.Epoch()
+	resp.Generation = g.store.Snapshot().Generation()
+	g.writeJSON(w, http.StatusOK, &resp)
+}
+
+// ssspCore is the below-HTTP hot path the warm benchmark pins at
+// 0 allocs/op: admission, executor checkout, and the preallocated-row sssp
+// serve, with every gateway-layer write landing on preallocated atomics.
+func (g *Gateway) ssspCore(ctx context.Context, dst []float64, src graph.NodeID) ([]float64, error) {
+	if err := g.admit(); err != nil {
+		return nil, err
+	}
+	defer g.done()
+	return g.srv.ServeSSSPIntoCtx(ctx, dst, src)
+}
+
+// writeError renders err as the taxonomy's wire form: status from
+// reproerr.HTTPStatus, body carrying the message and machine-readable kind.
+func (g *Gateway) writeError(w http.ResponseWriter, ep int, err error) {
+	g.m.errors[ep].Inc()
+	kind := reproerr.KindOf(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(reproerr.HTTPStatus(kind))
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Kind: kind.String()})
+}
+
+// writeJSON renders one success body.
+func (g *Gateway) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,74 @@
+package gateway
+
+import (
+	"repro/internal/obs"
+)
+
+// endpoint codes index the per-endpoint instrument arrays — fixed at
+// construction so the hot path never does a map lookup or label formatting.
+const (
+	epQuery = iota
+	epBatch
+	epDelta
+	epSwap
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{"query", "batch", "delta", "swap"}
+
+// gwMetrics is the gateway's instrument set, registered once on the shared
+// obs.Registry at construction. All instruments are nil when the gateway is
+// uninstrumented — every write below is a nil-receiver no-op, so the
+// request path carries no conditionals and stays allocation-free either
+// way.
+type gwMetrics struct {
+	requests [numEndpoints]*obs.Counter   // lcs_gateway_requests_total{endpoint}
+	errors   [numEndpoints]*obs.Counter   // lcs_gateway_errors_total{endpoint}
+	latency  [numEndpoints]*obs.Histogram // lcs_gateway_latency_ns{endpoint}
+	shed     *obs.Counter                 // lcs_gateway_shed_total
+	depth    *obs.Gauge                   // lcs_gateway_queue_depth
+	depthPk  *obs.Gauge                   // lcs_gateway_queue_depth_peak
+	admitNs  *obs.Histogram               // lcs_gateway_admit_wait_ns
+	coalIn   *obs.Counter                 // lcs_gateway_coalesce_in_total
+	coalOut  *obs.Counter                 // lcs_gateway_coalesce_out_total
+	window   *obs.Histogram               // lcs_gateway_window_batch
+}
+
+// newGwMetrics registers the gateway instrument set on reg. A nil registry
+// yields an all-nil (uninstrumented) set; the struct itself is always
+// non-nil so call sites never branch.
+func newGwMetrics(reg *obs.Registry) *gwMetrics {
+	m := &gwMetrics{}
+	for ep := 0; ep < numEndpoints; ep++ {
+		m.requests[ep] = reg.Counter("lcs_gateway_requests_total", "endpoint", endpointNames[ep])
+		m.errors[ep] = reg.Counter("lcs_gateway_errors_total", "endpoint", endpointNames[ep])
+		m.latency[ep] = reg.Histogram("lcs_gateway_latency_ns", "endpoint", endpointNames[ep])
+	}
+	m.shed = reg.Counter("lcs_gateway_shed_total")
+	m.depth = reg.Gauge("lcs_gateway_queue_depth")
+	m.depthPk = reg.Gauge("lcs_gateway_queue_depth_peak")
+	m.admitNs = reg.Histogram("lcs_gateway_admit_wait_ns")
+	m.coalIn = reg.Counter("lcs_gateway_coalesce_in_total")
+	m.coalOut = reg.Counter("lcs_gateway_coalesce_out_total")
+	m.window = reg.Histogram("lcs_gateway_window_batch")
+	return m
+}
+
+// admitted records one slot acquisition: current depth and its peak.
+func (m *gwMetrics) admitted(depth int64) {
+	m.depth.Set(depth)
+	m.depthPk.SetMax(depth)
+}
+
+// released records one slot release.
+func (m *gwMetrics) released(depth int64) {
+	m.depth.Set(depth)
+}
+
+// flush records one coalescing window flush: in queries folded into out
+// distinct roots.
+func (m *gwMetrics) flush(in, out int) {
+	m.coalIn.Add(int64(in))
+	m.coalOut.Add(int64(out))
+	m.window.Observe(int64(in))
+}

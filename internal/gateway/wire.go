@@ -1,0 +1,308 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/reproerr"
+	"repro/internal/serve"
+)
+
+// maxBodyBytes bounds every request body the gateway decodes. Delta
+// payloads are the largest legitimate bodies (thousands of edge mutations);
+// 16 MiB leaves generous headroom while keeping a hostile body from
+// ballooning the decoder.
+const maxBodyBytes = 16 << 20
+
+// minMinCutEps floors the mincut approximation knob on the wire: the
+// packed tree count is DefaultTrees(n)/eps, so accepting arbitrarily small
+// positive eps would let one request buy unbounded work.
+const minMinCutEps = 0.01
+
+// QueryRequest is the JSON body of POST /v1/query and each element of a
+// batch request. Kind selects the query family; the other fields are
+// kind-specific payload. Source and Part are pointers so "absent" is
+// distinguishable from the valid zero value — a sssp request without a
+// source is a typed 400, not a silent query for node 0.
+type QueryRequest struct {
+	Kind   string  `json:"kind"`
+	Source *int64  `json:"source,omitempty"` // sssp: root node
+	Eps    float64 `json:"eps,omitempty"`    // mincut: approximation knob
+	Part   *int    `json:"part,omitempty"`   // quality: part index
+}
+
+// toQuery validates the request and maps it onto the typed serve query
+// family. Every rejection is a reproerr.KindInvalidInput — the
+// typed-error-or-serves contract FuzzGatewayRequest pins.
+func (q *QueryRequest) toQuery() (serve.Query, error) {
+	const op = "gateway.query"
+	switch q.Kind {
+	case "sssp":
+		if q.Source == nil {
+			return nil, reproerr.Invalid(op, "sssp query requires a source")
+		}
+		if *q.Source < 0 || *q.Source > math.MaxInt32 {
+			return nil, reproerr.Invalid(op, "source %d out of node-id range", *q.Source)
+		}
+		return serve.SSSPQuery{Source: graph.NodeID(*q.Source)}, nil
+	case "mst":
+		return serve.MSTQuery{}, nil
+	case "mincut":
+		if q.Eps < 0 || math.IsNaN(q.Eps) || math.IsInf(q.Eps, 0) {
+			return nil, reproerr.Invalid(op, "eps %v must be a finite value >= 0", q.Eps)
+		}
+		// The packed tree count grows as 1/eps, so an arbitrarily small eps
+		// is an arbitrarily expensive request — the wire surface floors it.
+		if q.Eps > 0 && q.Eps < minMinCutEps {
+			return nil, reproerr.Invalid(op, "eps %v below the serving floor %v (tree count grows as 1/eps; use 0 for the default packing)", q.Eps, minMinCutEps)
+		}
+		return serve.MinCutQuery{Eps: q.Eps}, nil
+	case "twoecss":
+		return serve.TwoECSSQuery{}, nil
+	case "quality":
+		if q.Part == nil {
+			return nil, reproerr.Invalid(op, "quality query requires a part")
+		}
+		return serve.QualityQuery{Part: *q.Part}, nil
+	case "":
+		return nil, reproerr.Invalid(op, "missing query kind")
+	default:
+		return nil, reproerr.Invalid(op, "unknown query kind %q", q.Kind)
+	}
+}
+
+// DistVector is a distance row on the wire. JSON cannot represent +Inf, so
+// unreachable nodes (sssp.Infinite) marshal as null and unmarshal back to
+// +Inf; finite values use Go's shortest round-trip formatting, so a decoded
+// vector is bit-identical to the served one.
+type DistVector []float64
+
+// MarshalJSON renders the vector as a JSON array with null for +Inf.
+func (d DistVector) MarshalJSON() ([]byte, error) {
+	if d == nil {
+		return []byte("null"), nil
+	}
+	buf := make([]byte, 0, 8*len(d)+2)
+	buf = append(buf, '[')
+	for i, v := range d {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		if math.IsInf(v, 1) {
+			buf = append(buf, "null"...)
+			continue
+		}
+		if math.IsNaN(v) || math.IsInf(v, -1) {
+			return nil, reproerr.Invalid("gateway.dist", "unencodable distance %v at index %d", v, i)
+		}
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	}
+	return append(buf, ']'), nil
+}
+
+// UnmarshalJSON parses the array form, mapping null back to +Inf.
+func (d *DistVector) UnmarshalJSON(b []byte) error {
+	var raw []*float64
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	out := make(DistVector, len(raw))
+	for i, p := range raw {
+		if p == nil {
+			out[i] = math.Inf(1)
+		} else {
+			out[i] = *p
+		}
+	}
+	*d = out
+	return nil
+}
+
+// SSSPResult is the wire form of a serve.SSSPAnswer.
+type SSSPResult struct {
+	Source int64      `json:"source"`
+	Dist   DistVector `json:"dist"`
+}
+
+// MSTResult is the wire form of a serve.MSTAnswer.
+type MSTResult struct {
+	Edges  []graph.EdgeID `json:"edges"`
+	Weight float64        `json:"weight"`
+}
+
+// MinCutResult is the wire form of a serve.MinCutAnswer.
+type MinCutResult struct {
+	Value float64        `json:"value"`
+	Side  []graph.NodeID `json:"side"`
+	Trees int            `json:"trees"`
+}
+
+// TwoECSSResult is the wire form of a serve.TwoECSSAnswer.
+type TwoECSSResult struct {
+	Edges      []graph.EdgeID `json:"edges"`
+	Weight     float64        `json:"weight"`
+	LowerBound float64        `json:"lower_bound"`
+	Ratio      float64        `json:"ratio"`
+}
+
+// QualityResult is the wire form of a serve.QualityAnswer.
+type QualityResult struct {
+	Part       int   `json:"part"`
+	Congestion int   `json:"congestion"`
+	DilationLo int32 `json:"dilation_lo"`
+	DilationHi int32 `json:"dilation_hi"`
+	Exact      bool  `json:"exact"`
+}
+
+// QueryResponse is the JSON body of a successful /v1/query answer (and each
+// element of a batch response): exactly one kind-matching result field is
+// set. Rounds/Messages carry the answer's marginal simulated cost where the
+// library reports one (sssp).
+type QueryResponse struct {
+	Kind     string         `json:"kind"`
+	SSSP     *SSSPResult    `json:"sssp,omitempty"`
+	MST      *MSTResult     `json:"mst,omitempty"`
+	MinCut   *MinCutResult  `json:"mincut,omitempty"`
+	TwoECSS  *TwoECSSResult `json:"twoecss,omitempty"`
+	Quality  *QualityResult `json:"quality,omitempty"`
+	Rounds   int            `json:"rounds,omitempty"`
+	Messages int64          `json:"messages,omitempty"`
+}
+
+// answerToResponse maps a typed serve answer onto its wire form.
+func answerToResponse(a serve.Answer) *QueryResponse {
+	switch a := a.(type) {
+	case *serve.SSSPAnswer:
+		return &QueryResponse{
+			Kind:     "sssp",
+			SSSP:     &SSSPResult{Source: int64(a.Source), Dist: DistVector(a.Dist)},
+			Rounds:   a.Rounds,
+			Messages: a.Messages,
+		}
+	case *serve.MSTAnswer:
+		return &QueryResponse{Kind: "mst", MST: &MSTResult{Edges: a.Tree, Weight: a.Weight}}
+	case *serve.MinCutAnswer:
+		return &QueryResponse{Kind: "mincut", MinCut: &MinCutResult{Value: a.Value, Side: a.Side, Trees: a.Trees}}
+	case *serve.TwoECSSAnswer:
+		return &QueryResponse{Kind: "twoecss", TwoECSS: &TwoECSSResult{
+			Edges: a.Edges, Weight: a.Weight, LowerBound: a.LowerBound, Ratio: a.Ratio,
+		}}
+	case *serve.QualityAnswer:
+		return &QueryResponse{Kind: "quality", Quality: &QualityResult{
+			Part:       a.Part,
+			Congestion: a.Quality.Congestion,
+			DilationLo: a.Quality.DilationLo,
+			DilationHi: a.Quality.DilationHi,
+			Exact:      a.Quality.Exact,
+		}}
+	}
+	return nil
+}
+
+// BatchRequest is the JSON body of POST /v1/batch.
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// BatchResponse is the aligned answer list of a batch.
+type BatchResponse struct {
+	Answers []*QueryResponse `json:"answers"`
+}
+
+// WireEdge is one edge insertion of a delta request.
+type WireEdge struct {
+	U int64   `json:"u"`
+	V int64   `json:"v"`
+	W float64 `json:"w"`
+}
+
+// DeltaRequest is the JSON body of POST /v1/delta: edge deletions (by
+// endpoints) applied before insertions (with weights) — graph.Delta on the
+// wire.
+type DeltaRequest struct {
+	Delete [][2]int64 `json:"delete,omitempty"`
+	Insert []WireEdge `json:"insert,omitempty"`
+}
+
+// toDelta validates endpoint ranges and maps onto graph.Delta. Weight and
+// endpoint semantics are fully validated downstream by graph.ApplyDelta;
+// here we only reject values that cannot narrow to a NodeID.
+func (d *DeltaRequest) toDelta() (graph.Delta, error) {
+	const op = "gateway.delta"
+	out := graph.Delta{}
+	for i, uv := range d.Delete {
+		if !validNode(uv[0]) || !validNode(uv[1]) {
+			return out, reproerr.Invalid(op, "delete[%d]: endpoints (%d,%d) out of node-id range", i, uv[0], uv[1])
+		}
+		out.Delete = append(out.Delete, [2]graph.NodeID{graph.NodeID(uv[0]), graph.NodeID(uv[1])})
+	}
+	for i, e := range d.Insert {
+		if !validNode(e.U) || !validNode(e.V) {
+			return out, reproerr.Invalid(op, "insert[%d]: endpoints (%d,%d) out of node-id range", i, e.U, e.V)
+		}
+		if math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			return out, reproerr.Invalid(op, "insert[%d]: weight %v is not finite", i, e.W)
+		}
+		out.Insert = append(out.Insert, graph.DeltaEdge{U: graph.NodeID(e.U), V: graph.NodeID(e.V), W: e.W})
+	}
+	if out.Size() == 0 {
+		return out, reproerr.Invalid(op, "empty delta")
+	}
+	return out, nil
+}
+
+func validNode(v int64) bool { return v >= 0 && v <= math.MaxInt32 }
+
+// DeltaResponse reports one applied delta: the new epoch/generation plus
+// the repair's shape (see serve.RepairInfo).
+type DeltaResponse struct {
+	Epoch      uint64  `json:"epoch"`
+	Generation uint64  `json:"generation"`
+	Touched    int     `json:"touched_parts"`
+	Inserted   int     `json:"inserted"`
+	Deleted    int     `json:"deleted"`
+	Rechecked  int     `json:"rechecked_parts"`
+	RepairMs   float64 `json:"repair_ms"`
+}
+
+// SwapRequest is the JSON body of POST /v1/snapshot/swap: ship a persisted
+// snapshot file into the live epoch protocol. Verify and Mmap default to
+// true when absent.
+type SwapRequest struct {
+	Path   string `json:"path"`
+	Verify *bool  `json:"verify,omitempty"`
+	Mmap   *bool  `json:"mmap,omitempty"`
+}
+
+// SwapResponse reports one completed snapshot swap. Drained is false when
+// the request deadline expired while the retired epoch still had pinned
+// readers — the swap itself is unconditional and had already happened.
+type SwapResponse struct {
+	Epoch      uint64 `json:"epoch"`
+	Generation uint64 `json:"generation"`
+	Drained    bool   `json:"drained"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer: the message plus
+// the machine-readable taxonomy kind the status code was derived from.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// decodeJSON strictly decodes one JSON body: unknown fields and trailing
+// data are rejected, and every failure is a typed KindInvalidInput.
+func decodeJSON(r io.Reader, into any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return reproerr.Errorf("gateway.decode", reproerr.KindInvalidInput, "invalid request body: %w", err)
+	}
+	if dec.More() {
+		return reproerr.Invalid("gateway.decode", "trailing data after request body")
+	}
+	return nil
+}

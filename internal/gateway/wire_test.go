@@ -1,0 +1,84 @@
+package gateway
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestDistVectorRoundTrip pins the Inf↔null wire encoding: +Inf
+// (sssp.Infinite, unreachable) marshals as null and comes back as +Inf,
+// and every finite float64 survives the round trip bit-exactly.
+func TestDistVectorRoundTrip(t *testing.T) {
+	in := DistVector{
+		0, 1.5, math.Inf(1), 0.1 + 0.2, // 0.30000000000000004 — needs full precision
+		math.SmallestNonzeroFloat64, math.MaxFloat64, 1e-300,
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out DistVector
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("unmarshal %s: %v", raw, err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if math.Float64bits(out[i]) != math.Float64bits(in[i]) {
+			t.Fatalf("[%d] %v → %s → %v: bits differ", i, in[i], raw, out[i])
+		}
+	}
+
+	// NaN and -Inf have no wire representation — marshaling must fail
+	// loudly rather than emit invalid JSON.
+	for _, bad := range []float64{math.NaN(), math.Inf(-1)} {
+		if _, err := json.Marshal(DistVector{bad}); err == nil {
+			t.Fatalf("marshal of %v succeeded", bad)
+		}
+	}
+
+	// A nil vector is JSON null both ways.
+	raw, err = json.Marshal(DistVector(nil))
+	if err != nil || string(raw) != "null" {
+		t.Fatalf("nil vector → %s, %v", raw, err)
+	}
+}
+
+// TestQueryValidation pins toQuery's rejection surface: every malformed
+// request is a typed KindInvalidInput, never a panic or a silent default.
+func TestQueryValidation(t *testing.T) {
+	src := func(v int64) *int64 { return &v }
+	part := func(v int) *int { return &v }
+	bad := []QueryRequest{
+		{},                              // missing kind
+		{Kind: "pagerank"},              // unknown kind
+		{Kind: "sssp"},                  // missing source
+		{Kind: "sssp", Source: src(-1)}, // negative source
+		{Kind: "sssp", Source: src(math.MaxInt32 + 1)},
+		{Kind: "mincut", Eps: -1},
+		{Kind: "mincut", Eps: math.Inf(1)},
+		{Kind: "mincut", Eps: math.NaN()},
+		{Kind: "mincut", Eps: 1e-9}, // below the 1/eps cost floor
+		{Kind: "quality"},           // missing part
+	}
+	for i, q := range bad {
+		if _, err := q.toQuery(); err == nil {
+			t.Errorf("bad[%d] %+v: accepted", i, q)
+		}
+	}
+	good := []QueryRequest{
+		{Kind: "sssp", Source: src(0)},
+		{Kind: "mst"},
+		{Kind: "mincut"},
+		{Kind: "mincut", Eps: 0.5},
+		{Kind: "twoecss"},
+		{Kind: "quality", Part: part(0)},
+	}
+	for i, q := range good {
+		if _, err := q.toQuery(); err != nil {
+			t.Errorf("good[%d] %+v: rejected: %v", i, q, err)
+		}
+	}
+}

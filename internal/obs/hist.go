@@ -3,6 +3,7 @@ package obs
 import (
 	"math/bits"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram bucket layout: log-linear (HDR-style), preallocated, no
@@ -92,6 +93,20 @@ func (h *Histogram) Observe(v int64) {
 			return
 		}
 	}
+}
+
+// ObserveSince records the nanoseconds elapsed since t0 — the one-line
+// latency idiom for request handlers:
+//
+//	defer h.ObserveSince(time.Now())
+//
+// A nil histogram skips the clock read entirely, keeping uninstrumented
+// paths free of time syscalls.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Nanoseconds())
 }
 
 // Snapshot captures the histogram's current state. Safe under concurrent

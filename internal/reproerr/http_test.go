@@ -1,0 +1,63 @@
+package reproerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestHTTPStatus pins the full taxonomy→status table: every declared Kind
+// has an explicit mapping, and the mapping is the one the gateway's error
+// path (and its clients) rely on.
+func TestHTTPStatus(t *testing.T) {
+	want := map[Kind]int{
+		KindUnknown:        500,
+		KindInvalidInput:   400,
+		KindBudgetExceeded: 429,
+		KindBandwidth:      500,
+		KindCanceled:       499,
+		KindDeadline:       504,
+		KindCorrupt:        422,
+	}
+	// Every Kind the package declares must appear in the table — adding a
+	// Kind without deciding its wire mapping is a bug this test catches.
+	for k := KindUnknown; k <= KindCorrupt; k++ {
+		w, ok := want[k]
+		if !ok {
+			t.Fatalf("Kind %v (%d) missing from the test's expectation table", k, k)
+		}
+		if got := HTTPStatus(k); got != w {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", k, got, w)
+		}
+	}
+	if got := HTTPStatus(Kind(250)); got != 500 {
+		t.Errorf("HTTPStatus(out-of-taxonomy) = %d, want 500", got)
+	}
+}
+
+// TestHTTPStatusOf pins the error-chain resolution: the outermost *Error's
+// kind decides, wrapped causes don't, and unclassified/nil errors get
+// 500/200.
+func TestHTTPStatusOf(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 200},
+		{"plain", errors.New("boom"), 500},
+		{"invalid", Invalid("op", "bad arg"), 400},
+		{"budget", New("op", KindBudgetExceeded, nil), 429},
+		{"corrupt", New("op", KindCorrupt, nil), 422},
+		{"canceled", FromContext("op", context.Canceled), 499},
+		{"deadline", FromContext("op", context.DeadlineExceeded), 504},
+		{"wrapped", fmt.Errorf("outer: %w", Invalid("op", "bad")), 400},
+		{"outermost wins", New("op", KindBudgetExceeded, Invalid("op", "bad")), 429},
+	}
+	for _, c := range cases {
+		if got := HTTPStatusOf(c.err); got != c.want {
+			t.Errorf("%s: HTTPStatusOf = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

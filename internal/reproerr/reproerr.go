@@ -154,3 +154,43 @@ func KindOf(err error) Kind {
 	}
 	return KindUnknown
 }
+
+// httpStatus is the taxonomy's wire mapping, the single table every network
+// front end shares. Values are plain integers (not net/http constants) so
+// this leaf package stays import-light:
+//
+//	KindInvalidInput   → 400 Bad Request        (rejected arguments)
+//	KindCorrupt        → 422 Unprocessable      (artifact failed validation)
+//	KindBudgetExceeded → 429 Too Many Requests  (budget/admission shed)
+//	KindCanceled       → 499 Client Closed      (nginx convention)
+//	KindDeadline       → 504 Gateway Timeout    (deadline expired)
+//	KindBandwidth      → 500 Internal           (simulation invariant broken)
+//	KindUnknown        → 500 Internal
+var httpStatus = map[Kind]int{
+	KindInvalidInput:   400,
+	KindCorrupt:        422,
+	KindBudgetExceeded: 429,
+	KindCanceled:       499,
+	KindDeadline:       504,
+	KindBandwidth:      500,
+	KindUnknown:        500,
+}
+
+// HTTPStatus maps a Kind to its HTTP status code (see the table above).
+// Kinds outside the taxonomy map to 500.
+func HTTPStatus(k Kind) int {
+	if s, ok := httpStatus[k]; ok {
+		return s
+	}
+	return 500
+}
+
+// HTTPStatusOf is HTTPStatus over KindOf: the status code of err's
+// outermost classified error, or 500 for unclassified errors. A nil err is
+// 200.
+func HTTPStatusOf(err error) int {
+	if err == nil {
+		return 200
+	}
+	return HTTPStatus(KindOf(err))
+}

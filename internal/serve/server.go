@@ -173,6 +173,12 @@ func (s *Server) Snapshot() *Snapshot {
 // Store returns the backing store, or nil for a fixed-snapshot server.
 func (s *Server) Store() *Store { return s.store }
 
+// Executors returns the executor-pool size — the maximum number of queries
+// in flight at once. A network front end sizes its admission queue from
+// this: requests beyond pool + queue capacity are shed instead of queued
+// unboundedly.
+func (s *Server) Executors() int { return s.opts.Executors }
+
 // resolve pins the snapshot this lease will serve. In store mode the pin
 // holds the epoch open until release; in fixed mode it is free.
 func (s *Server) resolve() (sn *Snapshot, ep *epoch) {
