@@ -61,6 +61,7 @@ func experiments() []experiment {
 		{"serving", "E14", "serving layer throughput (snapshot + pooled executors)", expt.E14Serving},
 		{"dynamic", "E15", "incremental update latency vs delta size (part-local repair)", expt.E15Dynamic},
 		{"persistence", "E16", "snapshot persistence: zero-copy mmap cold start", expt.E16Persistence},
+		{"load", "E17", "open-loop load: Zipf/Poisson arrivals racing hot swaps", expt.E17Load},
 		{"ablation-reps", "A1", "sampling repetitions ablation", expt.A1Repetitions},
 		{"ablation-sched", "A2", "random-delay ablation", expt.A2Scheduling},
 		{"ablation-det", "A4", "deterministic construction (open end)", expt.A4Deterministic},
@@ -80,7 +81,8 @@ func run(args []string, stdout io.Writer) error {
 		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		engine    = fs.String("engine", "sequential", "CONGEST engine for simulated experiments: sequential, pool (one worker per CPU), or a worker count")
 		jsonOut   = fs.Bool("json", false, "emit all tables as a JSON array (overrides -csv)")
-		benchOut  = fs.String("bench-out", "", "also write the run envelope + tables as JSON to this file (e.g. BENCH_serving.json for -serve runs); stdout keeps its text/CSV/JSON form")
+		benchOut  = fs.String("bench-out", "", "append the run envelope + tables as a trajectory entry to this JSON file (e.g. BENCH_serving.json for -serve runs); repeated runs accumulate a performance history; stdout keeps its text/CSV/JSON form")
+		benchTag  = fs.String("bench-tag", "", "tag recorded on the -bench-out trajectory entry (a PR number, commit, or machine name)")
 
 		metricsOut = fs.String("metrics-out", "", "instrument the run with an observability registry and write its JSON snapshot (per-kind latency quantiles, kernel-routing and epoch-swap counters, query traces) to this file; the snapshot is also folded into the -json/-bench-out envelope under run.metrics")
 
@@ -97,6 +99,12 @@ func run(args []string, stdout io.Writer) error {
 		snapshotOut  = fs.String("snapshot-out", "", "persist the built snapshot to this file (E14 after its build; E16 for its largest size), so later runs can -snapshot-in it")
 		snapshotIn   = fs.String("snapshot-in", "", "load the E14 serving snapshot from this file instead of building it (implies 'serving' when no experiment is named)")
 		persistSizes = fs.String("persist-sizes", "", "comma-separated n sweep for the E16 persistence experiment (implies 'persistence' when no experiment is named)")
+
+		loadRun      = fs.Bool("load", false, "run the E17 open-loop load experiment (no positional experiment needed)")
+		loadRates    = fs.String("load-rate", "", "comma-separated offered rates (queries/second) for E17")
+		loadZipfs    = fs.String("load-zipf", "", "comma-separated Zipf root-skew exponents for E17 (values ≤ 1 draw uniformly)")
+		loadUpdates  = fs.String("load-update-rate", "", "comma-separated hot-swap rates (swaps/second) for E17; include 0 for a static-snapshot row")
+		loadDuration = fs.Duration("load-duration", 0, "open-loop horizon of each E17 scenario (0 = default)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: lcsbench [flags] <experiment>")
@@ -126,6 +134,8 @@ func run(args []string, stdout io.Writer) error {
 		target = "serving"
 	case fs.NArg() == 0 && *persistSizes != "":
 		target = "persistence"
+	case fs.NArg() == 0 && *loadRun:
+		target = "load"
 	default:
 		fs.Usage()
 		return fmt.Errorf("expected exactly one experiment name (or -serve / -delta)")
@@ -145,6 +155,7 @@ func run(args []string, stdout io.Writer) error {
 		ServeAddr:    *serveAddr,
 		SnapshotIn:   *snapshotIn,
 		SnapshotOut:  *snapshotOut,
+		LoadDuration: *loadDuration,
 		Ctx:          ctx,
 	}
 	var reg *obs.Registry
@@ -177,6 +188,15 @@ func run(args []string, stdout io.Writer) error {
 	if cfg.PersistSizes, err = parseInts(*persistSizes); err != nil {
 		return fmt.Errorf("-persist-sizes: %w", err)
 	}
+	if cfg.LoadRates, err = parseFloats(*loadRates); err != nil {
+		return fmt.Errorf("-load-rate: %w", err)
+	}
+	if cfg.LoadZipfs, err = parseFloats(*loadZipfs); err != nil {
+		return fmt.Errorf("-load-zipf: %w", err)
+	}
+	if cfg.LoadUpdateRates, err = parseFloats(*loadUpdates); err != nil {
+		return fmt.Errorf("-load-update-rate: %w", err)
+	}
 
 	var selected []experiment
 	switch target {
@@ -207,6 +227,19 @@ func run(args []string, stdout io.Writer) error {
 		if !found {
 			for _, e := range experiments() {
 				if e.name == "serving" {
+					selected = append(selected, e)
+				}
+			}
+		}
+	}
+	if *loadRun && target != "load" {
+		found := false
+		for _, e := range selected {
+			found = found || e.name == "load"
+		}
+		if !found {
+			for _, e := range experiments() {
+				if e.name == "load" {
 					selected = append(selected, e)
 				}
 			}
@@ -257,15 +290,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if *benchOut != "" {
-		f, err := os.Create(*benchOut)
-		if err != nil {
-			return fmt.Errorf("-bench-out: %w", err)
-		}
-		if err := expt.WriteJSON(f, info, tables); err != nil {
-			f.Close()
-			return fmt.Errorf("-bench-out: %w", err)
-		}
-		if err := f.Close(); err != nil {
+		if err := expt.AppendJSON(*benchOut, *benchTag, info, tables); err != nil {
 			return fmt.Errorf("-bench-out: %w", err)
 		}
 	}
@@ -300,6 +325,22 @@ func parseInts(s string) ([]int, error) {
 	out := make([]int, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
 			return nil, err
 		}

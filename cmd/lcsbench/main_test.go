@@ -99,34 +99,61 @@ func TestServeSweepJSON(t *testing.T) {
 	}
 }
 
-// TestBenchOut drives a -serve sweep with -bench-out and checks the file
-// holds the same envelope -json prints, while stdout keeps its text form.
+// TestBenchOut drives a -serve sweep with -bench-out twice and checks the
+// file accumulates a trajectory (one tagged entry per run, same envelope
+// shape -json prints per entry), while stdout keeps its text form.
 func TestBenchOut(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
-	var out bytes.Buffer
-	if err := run([]string{
+	args := []string{
 		"-quick", "-serve", "-dist-sizes", "300",
 		"-serve-queries", "8", "-serve-executors", "1", "-serve-batches", "4",
 		"-bench-out", path,
-	}, &out); err != nil {
+	}
+	var out bytes.Buffer
+	if err := run(append(args, "-bench-tag", "run-a"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "E14") {
 		t.Fatalf("stdout lost its text table:\n%s", out.String())
 	}
+	if err := run(append(args, "-bench-tag", "run-b"), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var env envelope
-	if err := json.Unmarshal(data, &env); err != nil {
+	var traj struct {
+		Trajectory []struct {
+			Seq        int    `json:"seq"`
+			RecordedAt string `json:"recorded_at"`
+			Tag        string `json:"tag"`
+			envelope
+		} `json:"trajectory"`
+	}
+	if err := json.Unmarshal(data, &traj); err != nil {
 		t.Fatalf("-bench-out file does not parse: %v", err)
 	}
-	if len(env.Tables) != 1 || !strings.Contains(env.Tables[0].Title, "E14") {
-		t.Fatalf("unexpected -bench-out tables: %+v", env.Tables)
+	if len(traj.Trajectory) != 2 {
+		t.Fatalf("want 2 trajectory entries after 2 runs, got %d", len(traj.Trajectory))
 	}
-	if env.Run.Cost == nil || env.Run.Cost.Wall <= 0 {
-		t.Fatalf("missing run envelope cost: %+v", env.Run)
+	for i, entry := range traj.Trajectory {
+		if entry.Seq != i {
+			t.Fatalf("entry %d has seq %d", i, entry.Seq)
+		}
+		if entry.RecordedAt == "" {
+			t.Fatalf("entry %d missing recorded_at", i)
+		}
+		if len(entry.Tables) != 1 || !strings.Contains(entry.Tables[0].Title, "E14") {
+			t.Fatalf("unexpected entry %d tables: %+v", i, entry.Tables)
+		}
+		if entry.Run.Cost == nil || entry.Run.Cost.Wall <= 0 {
+			t.Fatalf("missing entry %d envelope cost: %+v", i, entry.Run)
+		}
+	}
+	if traj.Trajectory[0].Tag != "run-a" || traj.Trajectory[1].Tag != "run-b" {
+		t.Fatalf("tags %q, %q; want run-a, run-b",
+			traj.Trajectory[0].Tag, traj.Trajectory[1].Tag)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/obs"
@@ -56,6 +57,18 @@ type Config struct {
 	SnapshotOut string
 	// PersistSizes is the n sweep of E16 (nil = default).
 	PersistSizes []int
+	// LoadRates is the offered-rate sweep (queries/second) of the E17
+	// open-loop load experiment (nil = default).
+	LoadRates []float64
+	// LoadZipfs is E17's root-skew sweep: each value is the Zipf exponent s
+	// for sssp sources (s ≤ 1 = uniform). nil = default.
+	LoadZipfs []float64
+	// LoadUpdateRates is E17's hot-swap rate sweep in swaps/second; 0 rows
+	// measure the static snapshot. nil = default {0, >0}.
+	LoadUpdateRates []float64
+	// LoadDuration is the open-loop horizon of each E17 scenario (0 =
+	// default).
+	LoadDuration time.Duration
 	// Metrics, when non-nil, attaches the observability registry to the
 	// serving-layer experiments (E14's store, servers, and snapshot load):
 	// per-kind latency histograms, kernel-routing counters, epoch-swap
@@ -148,11 +161,45 @@ func (c Config) WithDefaults() Config {
 			c.PersistSizes = []int{20_000, 100_000}
 		}
 	}
+	c.LoadRates = positiveFloats(c.LoadRates)
+	if len(c.LoadRates) == 0 {
+		if c.Quick {
+			c.LoadRates = []float64{100, 300}
+		} else {
+			c.LoadRates = []float64{200, 500, 1000}
+		}
+	}
+	// Zipf 0 (uniform) and update rate 0 (static) are meaningful sweep
+	// points, so these two only default when nil.
+	if len(c.LoadZipfs) == 0 {
+		c.LoadZipfs = []float64{1.1, 2.0}
+	}
+	if len(c.LoadUpdateRates) == 0 {
+		c.LoadUpdateRates = []float64{0, 2}
+	}
+	if c.LoadDuration <= 0 {
+		if c.Quick {
+			c.LoadDuration = 2 * time.Second
+		} else {
+			c.LoadDuration = 4 * time.Second
+		}
+	}
 	return c
 }
 
 // positiveInts drops non-positive sweep entries.
 func positiveInts(s []int) []int {
+	out := s[:0]
+	for _, v := range s {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// positiveFloats drops non-positive sweep entries.
+func positiveFloats(s []float64) []float64 {
 	out := s[:0]
 	for _, v := range s {
 		if v > 0 {

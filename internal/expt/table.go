@@ -127,25 +127,33 @@ type RunInfo struct {
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
+// jsonTable is a Table's JSON form: {title, columns, rows, notes, meta}.
+type jsonTable struct {
+	Title   string         `json:"title"`
+	Columns []string       `json:"columns"`
+	Rows    [][]string     `json:"rows"`
+	Notes   []string       `json:"notes,omitempty"`
+	Meta    map[string]any `json:"meta,omitempty"`
+}
+
+func toJSONTables(tables []*Table) []jsonTable {
+	out := make([]jsonTable, len(tables))
+	for i, t := range tables {
+		out[i] = jsonTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes, Meta: t.Meta}
+	}
+	return out
+}
+
 // WriteJSON renders a run as a JSON object {run, tables}, where tables is
 // the array of {title, columns, rows, notes, meta} objects — the
 // machine-readable form consumed by perf-trajectory tooling. Table Meta
-// carries raw side data such as scheduler Stats (E10/A2).
+// carries raw side data such as scheduler Stats (E10/A2). For an
+// accumulating multi-run file, use AppendJSON instead.
 func WriteJSON(w io.Writer, run RunInfo, tables []*Table) error {
-	type jsonTable struct {
-		Title   string         `json:"title"`
-		Columns []string       `json:"columns"`
-		Rows    [][]string     `json:"rows"`
-		Notes   []string       `json:"notes,omitempty"`
-		Meta    map[string]any `json:"meta,omitempty"`
-	}
 	out := struct {
 		Run    RunInfo     `json:"run"`
 		Tables []jsonTable `json:"tables"`
-	}{Run: run, Tables: make([]jsonTable, len(tables))}
-	for i, t := range tables {
-		out.Tables[i] = jsonTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes, Meta: t.Meta}
-	}
+	}{Run: run, Tables: toJSONTables(tables)}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

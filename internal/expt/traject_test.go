@@ -1,0 +1,106 @@
+package expt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readTrajectory(t *testing.T, path string) trajectoryFile {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf trajectoryFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trajectory file is not valid JSON: %v\n%s", err, raw)
+	}
+	return tf
+}
+
+func sampleTable(title string) *Table {
+	tb := NewTable(title, "x", "y")
+	tb.AddRow("1", "2")
+	return tb
+}
+
+// TestAppendJSON pins the trajectory writer: a missing file starts at seq 0,
+// repeated appends accumulate with increasing seq and preserved tags, and a
+// legacy single-run {run, tables} file is upgraded to entry 0 in place.
+func TestAppendJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+
+	if err := AppendJSON(path, "first", RunInfo{Seed: 1}, []*Table{sampleTable("A")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendJSON(path, "second", RunInfo{Seed: 2}, []*Table{sampleTable("B")}); err != nil {
+		t.Fatal(err)
+	}
+	tf := readTrajectory(t, path)
+	if len(tf.Trajectory) != 2 {
+		t.Fatalf("got %d entries, want 2", len(tf.Trajectory))
+	}
+	for i, want := range []struct {
+		tag   string
+		seed  int64
+		title string
+	}{{"first", 1, "A"}, {"second", 2, "B"}} {
+		e := tf.Trajectory[i]
+		if e.Seq != i || e.Tag != want.tag || e.Run.Seed != want.seed ||
+			len(e.Tables) != 1 || e.Tables[0].Title != want.title {
+			t.Fatalf("entry %d = %+v, want seq=%d tag=%q seed=%d title=%q", i, e, i, want.tag, want.seed, want.title)
+		}
+		if e.RecordedAt == "" {
+			t.Fatalf("entry %d has no timestamp", i)
+		}
+	}
+}
+
+func TestAppendJSONLegacyUpgrade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_legacy.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(f, RunInfo{Seed: 7, Engine: "pool"}, []*Table{sampleTable("old")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := AppendJSON(path, "new", RunInfo{Seed: 8}, []*Table{sampleTable("new")}); err != nil {
+		t.Fatal(err)
+	}
+	tf := readTrajectory(t, path)
+	if len(tf.Trajectory) != 2 {
+		t.Fatalf("got %d entries, want legacy + new", len(tf.Trajectory))
+	}
+	old := tf.Trajectory[0]
+	if old.Seq != 0 || old.Tag != "legacy" || old.RecordedAt != "" ||
+		old.Run.Seed != 7 || old.Run.Engine != "pool" || old.Tables[0].Title != "old" {
+		t.Fatalf("legacy entry not preserved: %+v", old)
+	}
+	if tf.Trajectory[1].Seq != 1 || tf.Trajectory[1].Tag != "new" {
+		t.Fatalf("appended entry wrong: %+v", tf.Trajectory[1])
+	}
+}
+
+func TestAppendJSONRefusesGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_garbage.json")
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendJSON(path, "", RunInfo{}, []*Table{sampleTable("x")}); err == nil {
+		t.Fatal("AppendJSON overwrote an unrecognized file")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "not json at all" {
+		t.Fatalf("refused append still modified the file: %q", raw)
+	}
+}

@@ -44,6 +44,7 @@ type coalescer struct {
 	mu      sync.Mutex
 	pending []ssspWaiter
 	timer   *time.Timer
+	gen     uint64 // id of the currently open window; bumped on every open
 	closed  bool
 	wg      sync.WaitGroup // in-flight flush executions; Add only under mu
 }
@@ -70,8 +71,13 @@ func (c *coalescer) enqueue(src graph.NodeID) (<-chan coalesceResult, bool) {
 		return w.ch, true
 	}
 	if len(c.pending) == 1 {
-		// First waiter opens the window.
-		c.timer = time.AfterFunc(c.window, c.flushTimer)
+		// First waiter opens the window. The timer captures the window's
+		// generation so an expiry that loses the race against an early
+		// flush (or Close) cannot drain a window it did not open — see
+		// flushTimer.
+		c.gen++
+		gen := c.gen
+		c.timer = time.AfterFunc(c.window, func() { c.flushTimer(gen) })
 	}
 	c.mu.Unlock()
 	return w.ch, true
@@ -94,8 +100,22 @@ func (c *coalescer) takeLocked() []ssspWaiter {
 }
 
 // flushTimer is the window-expiry path, running on the timer's goroutine.
-func (c *coalescer) flushTimer() {
+// gen is the generation of the window that armed this timer. timer.Stop in
+// takeLocked cannot stop a timer whose function already started, so an
+// expiry can race an early MaxBatch flush (or Close) that drained the same
+// window: by the time the expiry acquires mu, its window is gone and —
+// worse — a NEW window may have opened. Flushing unconditionally here would
+// drain that newer window prematurely (batch of one, coalescing defeated)
+// and stop its timer. The generation check makes the stale expiry a no-op.
+func (c *coalescer) flushTimer(gen uint64) {
 	c.mu.Lock()
+	if gen != c.gen || len(c.pending) == 0 {
+		// Stale: the window this timer was armed for was already flushed
+		// (early flush, Close), and any pending waiters belong to a newer
+		// window with a live timer of its own.
+		c.mu.Unlock()
+		return
+	}
 	batch := c.takeLocked()
 	c.mu.Unlock()
 	c.run(batch)

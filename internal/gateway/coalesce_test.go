@@ -1,0 +1,161 @@
+package gateway
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testx"
+)
+
+// waitPending polls the coalescer until exactly n waiters are parked in the
+// open window (or fails). The poll reads under the coalescer's own mutex, so
+// the observed state is coherent.
+func waitPending(t *testing.T, c *coalescer, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		got := len(c.pending)
+		c.mu.Unlock()
+		if got == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending never reached %d (at %d)", n, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalescerStaleTimer pins the window-generation guard deterministically
+// by playing the timer goroutine's role by hand. timer.Stop cannot stop an
+// AfterFunc whose callback already started, so a window's expiry can run
+// after a MaxBatch early flush already drained that window AND a newer
+// window opened. Before the guard, that stale expiry drained the newer
+// window prematurely (a batch of one — coalescing defeated) and stopped the
+// newer window's live timer. The generation check must make it a no-op.
+func TestCoalescerStaleTimer(t *testing.T) {
+	t.Cleanup(testx.LeakCheck(t.Fatalf))
+	fx := makeFixture(t, 200, 21)
+	// A one-minute window never fires on its own: every expiry in this test
+	// is a hand-delivered flushTimer call with a chosen generation.
+	env := newEnv(t, fx, Options{BatchWindow: time.Minute, MaxBatch: 2})
+	co := env.gw.co
+
+	// Window 1: two queries hit MaxBatch and flush early. Its timer was
+	// stopped, but pretend Stop lost the race and the expiry callback is
+	// about to run anyway.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(src int64) {
+			defer wg.Done()
+			if status, raw := post(t, env.srv.URL+"/v1/query",
+				QueryRequest{Kind: "sssp", Source: intp(src)}, nil); status != 200 {
+				t.Errorf("window-1 query: status %d: %s", status, raw)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Window 2 opens with one parked waiter.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if status, raw := post(t, env.srv.URL+"/v1/query",
+			QueryRequest{Kind: "sssp", Source: intp(5)}, nil); status != 200 {
+			t.Errorf("window-2 query: status %d: %s", status, raw)
+		}
+	}()
+	waitPending(t, co, 1)
+
+	// The stale window-1 expiry finally runs. It must neither drain window
+	// 2's waiter nor disturb its live timer.
+	co.flushTimer(1)
+	co.mu.Lock()
+	pending, timer, gen := len(co.pending), co.timer, co.gen
+	co.mu.Unlock()
+	if pending != 1 || timer == nil {
+		t.Fatalf("stale expiry touched the newer window: pending=%d timer=%v", pending, timer)
+	}
+	if gen != 2 {
+		t.Fatalf("generation = %d, want 2 (one per opened window)", gen)
+	}
+	if flushes := env.reg.Counter("lcs_gateway_coalesce_out_total").Value(); flushes != 2 {
+		t.Fatalf("coalesce_out after stale expiry = %d, want window 1's 2 roots only", flushes)
+	}
+
+	// The genuine window-2 expiry flushes the waiter.
+	co.flushTimer(2)
+	wg.Wait()
+
+	// A second delivery of the same expiry (duplicate timer fire after the
+	// flush emptied the window) is also a no-op rather than a double flush.
+	co.flushTimer(2)
+	if in := env.reg.Counter("lcs_gateway_coalesce_in_total").Value(); in != 3 {
+		t.Fatalf("coalesce_in = %d, want 3", in)
+	}
+	if out := env.reg.Counter("lcs_gateway_coalesce_out_total").Value(); out != 3 {
+		t.Fatalf("coalesce_out = %d, want 3 (2 + 1, no phantom flushes)", out)
+	}
+}
+
+// TestCoalescerExpiryRace hammers the expiry path against MaxBatch early
+// flushes: a window short enough to fire constantly while bursts of exactly
+// MaxBatch queries keep draining windows from under it. Every request must
+// complete with an answer and the in/out accounting must balance — no lost
+// waiter, no double flush. Runs under -race in CI, where the pre-guard
+// stale-flush manifested as a torn window hand-off.
+func TestCoalescerExpiryRace(t *testing.T) {
+	t.Cleanup(testx.LeakCheck(t.Fatalf))
+	fx := makeFixture(t, 200, 22)
+	env := newEnv(t, fx, Options{
+		QueueDepth:  256,
+		BatchWindow: 200 * time.Microsecond,
+		MaxBatch:    3,
+	})
+	n := int64(fx.g.NumNodes())
+
+	const workers, each = 6, 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				src := int64(w*17+i) % n
+				status, raw := post(t, env.srv.URL+"/v1/query",
+					QueryRequest{Kind: "sssp", Source: intp(src)}, nil)
+				if status != 200 {
+					t.Errorf("worker %d query %d: status %d: %s", w, i, status, raw)
+					return
+				}
+				got := decodeResp[QueryResponse](t, raw)
+				if got.SSSP == nil || got.SSSP.Source != src {
+					t.Errorf("worker %d query %d: malformed answer: %s", w, i, raw)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Close flushes any open window; afterwards the books must balance:
+	// every enqueued waiter went out in exactly one batch execution.
+	env.gw.Close()
+	in := env.reg.Counter("lcs_gateway_coalesce_in_total").Value()
+	out := env.reg.Counter("lcs_gateway_coalesce_out_total").Value()
+	if in != workers*each {
+		t.Fatalf("coalesce_in = %d, want %d", in, workers*each)
+	}
+	if out < 1 || out > in {
+		t.Fatalf("coalesce_out = %d out of balance with in = %d", out, in)
+	}
+}

@@ -24,6 +24,7 @@ package gateway
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -202,15 +203,9 @@ func (g *Gateway) done() {
 func (g *Gateway) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
 	timeout := g.opts.DefaultTimeout
 	if h := r.Header.Get("Request-Timeout"); h != "" {
-		d, err := time.ParseDuration(h)
+		d, err := parseRequestTimeout(h)
 		if err != nil {
-			if secs, serr := strconv.ParseFloat(h, 64); serr == nil {
-				d, err = time.Duration(secs*float64(time.Second)), nil
-			}
-		}
-		if err != nil || d <= 0 {
-			return nil, nil, reproerr.Invalid("gateway.timeout",
-				"invalid Request-Timeout %q: want a positive Go duration or seconds", h)
+			return nil, nil, err
 		}
 		timeout = d
 	}
@@ -220,6 +215,35 @@ func (g *Gateway) requestCtx(r *http.Request) (context.Context, context.CancelFu
 	}
 	ctx, cancel := context.WithCancel(r.Context())
 	return ctx, cancel, nil
+}
+
+// parseRequestTimeout maps a Request-Timeout header value to a positive
+// duration. Every malformed value — non-numeric, NaN, ±Inf, zero, negative,
+// or out of range — is a typed KindInvalidInput (a 400 on the wire), never
+// silently ignored: a zero or negative value accepted here would mint an
+// already-expired context and miscount a client mistake as a 504 deadline.
+// Values larger than the representable range clamp to the maximum duration
+// (semantically "no practical deadline") rather than overflowing into
+// platform-defined float→int conversion garbage.
+func parseRequestTimeout(h string) (time.Duration, error) {
+	const op = "gateway.timeout"
+	d, err := time.ParseDuration(h)
+	if err != nil {
+		secs, serr := strconv.ParseFloat(h, 64)
+		if serr != nil || math.IsNaN(secs) || math.IsInf(secs, 0) {
+			return 0, reproerr.Invalid(op,
+				"invalid Request-Timeout %q: want a positive Go duration or seconds", h)
+		}
+		if secs >= float64(math.MaxInt64)/float64(time.Second) {
+			return math.MaxInt64, nil
+		}
+		d = time.Duration(secs * float64(time.Second))
+	}
+	if d <= 0 {
+		return 0, reproerr.Invalid(op,
+			"non-positive Request-Timeout %q: the deadline would already have expired", h)
+	}
+	return d, nil
 }
 
 // handleQuery serves POST /v1/query: one typed query, coalesced into the

@@ -1,0 +1,177 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/gateway"
+	"repro/internal/graph"
+	"repro/internal/reproerr"
+	"repro/internal/serve"
+)
+
+// Completion is what the runner needs back from a served query for SLO and
+// torn-answer accounting. Kinds without attribution material (mincut,
+// twoecss, quality) return the zero Completion.
+type Completion struct {
+	// Root and Dist are set for sssp answers; Dist is the full distance row
+	// (wire backends decode it bit-identically, the DistVector contract).
+	Root graph.NodeID
+	Dist []float64
+	// TreeHead is the identity of an MST answer's tree slice — set by the
+	// library backend only, where pointer identity names the generation
+	// exactly. TreeEdges carries the edge ids for both backends.
+	TreeHead  *graph.EdgeID
+	TreeEdges []graph.EdgeID
+}
+
+// Backend serves one query; both implementations expose the same five-kind
+// surface so one Schedule drives either.
+type Backend interface {
+	Name() string
+	Do(ctx context.Context, q serve.Query) (Completion, error)
+}
+
+// LibraryBackend drives an in-process serve.Server — the epoch-pinning
+// library path with no wire framing.
+type LibraryBackend struct {
+	Srv *serve.Server
+}
+
+func (b *LibraryBackend) Name() string { return "library" }
+
+func (b *LibraryBackend) Do(ctx context.Context, q serve.Query) (Completion, error) {
+	a, err := b.Srv.ServeCtx(ctx, q)
+	if err != nil {
+		return Completion{}, err
+	}
+	switch ans := a.(type) {
+	case *serve.SSSPAnswer:
+		return Completion{Root: ans.Source, Dist: ans.Dist}, nil
+	case *serve.MSTAnswer:
+		if len(ans.Tree) == 0 {
+			return Completion{}, fmt.Errorf("load: empty MST answer")
+		}
+		return Completion{TreeHead: &ans.Tree[0], TreeEdges: ans.Tree}, nil
+	}
+	return Completion{}, nil
+}
+
+// WireBackend drives a gateway over HTTP — POST /v1/query with the JSON
+// codec, so wire overhead (framing, admission, coalescing) lands in the same
+// histograms as the library path.
+type WireBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewWireBackend targets addr (host:port or full URL) with client (nil =
+// a dedicated client reusing keep-alive connections).
+func NewWireBackend(addr string, client *http.Client) *WireBackend {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &WireBackend{base: strings.TrimRight(addr, "/"), client: client}
+}
+
+func (b *WireBackend) Name() string { return "wire" }
+
+func (b *WireBackend) Do(ctx context.Context, q serve.Query) (Completion, error) {
+	const op = "load.wire"
+	req, err := queryToRequest(q)
+	if err != nil {
+		return Completion{}, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Completion{}, fmt.Errorf("%s: %w", op, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return Completion{}, fmt.Errorf("%s: %w", op, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The per-query deadline (or the run's cancellation) expired
+			// client-side; classify like the server would have.
+			return Completion{}, reproerr.FromContext(op, ctx.Err())
+		}
+		return Completion{}, fmt.Errorf("%s: %w", op, err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return Completion{}, fmt.Errorf("%s: %w", op, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Completion{}, wireError(op, resp.StatusCode, raw)
+	}
+	var ans gateway.QueryResponse
+	if err := json.Unmarshal(raw, &ans); err != nil {
+		return Completion{}, fmt.Errorf("%s: undecodable answer: %w", op, err)
+	}
+	switch {
+	case ans.SSSP != nil:
+		return Completion{Root: graph.NodeID(ans.SSSP.Source), Dist: ans.SSSP.Dist}, nil
+	case ans.MST != nil:
+		return Completion{TreeEdges: ans.MST.Edges}, nil
+	}
+	return Completion{}, nil
+}
+
+// queryToRequest is toQuery's inverse: the typed serve query onto its wire
+// form.
+func queryToRequest(q serve.Query) (gateway.QueryRequest, error) {
+	switch q := q.(type) {
+	case serve.SSSPQuery:
+		src := int64(q.Source)
+		return gateway.QueryRequest{Kind: "sssp", Source: &src}, nil
+	case serve.MSTQuery:
+		return gateway.QueryRequest{Kind: "mst"}, nil
+	case serve.MinCutQuery:
+		return gateway.QueryRequest{Kind: "mincut", Eps: q.Eps}, nil
+	case serve.TwoECSSQuery:
+		return gateway.QueryRequest{Kind: "twoecss"}, nil
+	case serve.QualityQuery:
+		part := q.Part
+		return gateway.QueryRequest{Kind: "quality", Part: &part}, nil
+	}
+	return gateway.QueryRequest{}, reproerr.Invalid("load.wire", "unmappable query type %T", q)
+}
+
+// wireError maps a non-200 response back onto the error taxonomy using the
+// status the gateway derived from it, so the runner classifies shed (429)
+// and deadline (504) identically for both backends.
+func wireError(op string, status int, raw []byte) error {
+	var kind reproerr.Kind
+	switch status {
+	case 400:
+		kind = reproerr.KindInvalidInput
+	case 422:
+		kind = reproerr.KindCorrupt
+	case 429:
+		kind = reproerr.KindBudgetExceeded
+	case 499:
+		kind = reproerr.KindCanceled
+	case 504:
+		kind = reproerr.KindDeadline
+	default:
+		kind = reproerr.KindUnknown
+	}
+	var e gateway.ErrorResponse
+	msg := string(bytes.TrimSpace(raw))
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return reproerr.Errorf(op, kind, "status %d: %s", status, msg)
+}

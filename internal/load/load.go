@@ -1,0 +1,282 @@
+// Package load is the open-loop traffic simulator for the serving stack:
+// seeded Zipf/Poisson workloads over all five query kinds, racing hot-swap
+// updates, with coordinated-omission-free latency accounting.
+//
+// Open loop vs closed loop: the E14 sweep is closed-loop — each client fires
+// its next query only when the previous answer returns, so a slow server
+// quietly throttles its own offered load and the measured tail hides every
+// stall (coordinated omission). This package pre-draws a Poisson arrival
+// schedule from the seed and dispatches each query at its scheduled instant
+// whether or not earlier queries have answered; latency is measured from the
+// scheduled arrival, so a stall shows up in the tail of every query it
+// delayed, exactly as clients would experience it.
+//
+// Determinism contract: BuildSchedule derives everything — arrival times,
+// query kinds, Zipf-skewed roots, update times, and delta contents — from
+// Params.Seed through per-stream sub-generators. The same seed yields the
+// identical Schedule on every run and for every backend; only the measured
+// timings differ. Execution is intentionally NOT deterministic (it races
+// real goroutines against a real clock); the schedule is.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/reproerr"
+	"repro/internal/serve"
+)
+
+// Mix is the query-kind mix as relative weights (they need not sum to 1;
+// BuildSchedule normalizes). The zero value selects DefaultMix.
+type Mix struct {
+	SSSP    float64
+	MST     float64
+	MinCut  float64
+	TwoECSS float64
+	Quality float64
+}
+
+// DefaultMix is the serving-shaped mix: reads dominated by the cheap warm
+// sssp path, with a tail of the four heavier kinds.
+var DefaultMix = Mix{SSSP: 0.90, MST: 0.04, MinCut: 0.01, TwoECSS: 0.02, Quality: 0.03}
+
+func (m Mix) total() float64 { return m.SSSP + m.MST + m.MinCut + m.TwoECSS + m.Quality }
+
+// Params configures one scenario. Rate and Duration are required; every
+// other zero value selects a documented default.
+type Params struct {
+	// Rate is the offered arrival rate in queries/second (Poisson).
+	Rate float64
+	// Duration is the open-loop horizon: arrivals are drawn on [0, Duration).
+	Duration time.Duration
+	// Zipf is the root-skew exponent s for sssp sources (and the part draw
+	// of quality queries): s > 1 draws from rand.NewZipf over the node ids,
+	// concentrating mass on low ids; s ≤ 1 draws uniformly.
+	Zipf float64
+	// Mix is the query-kind mix (zero value = DefaultMix).
+	Mix Mix
+	// UpdateRate is the hot-swap rate in swaps/second (Poisson, independent
+	// of the query stream). 0 = static snapshot.
+	UpdateRate float64
+	// DeltaEdges is the number of edges each update inserts (0 = 4).
+	DeltaEdges int
+	// MaxUpdates caps the scheduled updates regardless of rate×duration
+	// (0 = 16) — it bounds the generation chain the torn-answer check must
+	// compute references for.
+	MaxUpdates int
+	// Seed seeds every stream of the schedule.
+	Seed int64
+	// Timeout is the per-query deadline (0 = 10s).
+	Timeout time.Duration
+	// MaxInFlight caps concurrently outstanding queries; an arrival finding
+	// the cap exhausted is counted as overflow and dropped, never blocked —
+	// blocking would close the loop (0 = 4096).
+	MaxInFlight int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Mix.total() == 0 {
+		p.Mix = DefaultMix
+	}
+	if p.DeltaEdges <= 0 {
+		p.DeltaEdges = 4
+	}
+	if p.MaxUpdates <= 0 {
+		p.MaxUpdates = 16
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 10 * time.Second
+	}
+	if p.MaxInFlight <= 0 {
+		p.MaxInFlight = 4096
+	}
+	return p
+}
+
+// Event is one scheduled query arrival.
+type Event struct {
+	At    time.Duration
+	Query serve.Query
+}
+
+// Update is one scheduled hot-swap: the delta to apply to the then-current
+// snapshot at time At.
+type Update struct {
+	At    time.Duration
+	Delta graph.Delta
+}
+
+// Schedule is a fully pre-drawn scenario: replaying it against any backend
+// offers the identical workload.
+type Schedule struct {
+	Params  Params
+	Events  []Event
+	Updates []Update
+}
+
+// KindCounts tallies the drawn kind mix (for reporting and the determinism
+// tests), keyed by the wire kind names.
+func (s *Schedule) KindCounts() map[string]int {
+	out := make(map[string]int, 5)
+	for _, ev := range s.Events {
+		out[kindName(ev.Query)]++
+	}
+	return out
+}
+
+func kindName(q serve.Query) string {
+	switch q.(type) {
+	case serve.SSSPQuery:
+		return "sssp"
+	case serve.MSTQuery:
+		return "mst"
+	case serve.MinCutQuery:
+		return "mincut"
+	case serve.TwoECSSQuery:
+		return "twoecss"
+	case serve.QualityQuery:
+		return "quality"
+	}
+	return fmt.Sprintf("%T", q)
+}
+
+// subRng derives one stream's generator: each stream (arrivals, kinds,
+// roots, update arrivals, delta contents) draws from its own source, so the
+// streams are mutually independent yet all pinned by Params.Seed.
+func subRng(seed, salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*16_777_619 + salt))
+}
+
+// BuildSchedule pre-draws one scenario against snap's graph: Poisson query
+// arrivals at Params.Rate with Zipf-skewed roots and the configured kind
+// mix, plus Poisson update arrivals whose insert-only deltas follow the
+// halving-weight-scale idiom (each generation's inserted edges are lighter
+// than everything before, so every delta displaces MST tree edges and the
+// generations stay distinguishable — what the torn-answer check relies on).
+func BuildSchedule(p Params, snap *serve.Snapshot) (*Schedule, error) {
+	const op = "load.schedule"
+	p = p.withDefaults()
+	if p.Rate <= 0 {
+		return nil, reproerr.Invalid(op, "rate %v must be positive", p.Rate)
+	}
+	if p.Duration <= 0 {
+		return nil, reproerr.Invalid(op, "duration %v must be positive", p.Duration)
+	}
+	if p.Mix.SSSP < 0 || p.Mix.MST < 0 || p.Mix.MinCut < 0 || p.Mix.TwoECSS < 0 || p.Mix.Quality < 0 {
+		return nil, reproerr.Invalid(op, "mix weights must be non-negative: %+v", p.Mix)
+	}
+	g := snap.Graph()
+	n := g.NumNodes()
+	nparts := snap.Partition().NumParts()
+	if n == 0 || nparts == 0 {
+		return nil, reproerr.Invalid(op, "empty snapshot")
+	}
+
+	arrivals := subRng(p.Seed, 1)
+	kinds := subRng(p.Seed, 2)
+	roots := subRng(p.Seed, 3)
+	var zipf *rand.Zipf
+	if p.Zipf > 1 {
+		zipf = rand.NewZipf(roots, p.Zipf, 1, uint64(n-1))
+	}
+	drawRoot := func() graph.NodeID {
+		if zipf != nil {
+			return graph.NodeID(zipf.Uint64())
+		}
+		return graph.NodeID(roots.Intn(n))
+	}
+
+	// Cumulative kind thresholds in a fixed order, normalized once.
+	total := p.Mix.total()
+	cum := [5]float64{p.Mix.SSSP, p.Mix.MST, p.Mix.MinCut, p.Mix.TwoECSS, p.Mix.Quality}
+	acc := 0.0
+	for i := range cum {
+		acc += cum[i] / total
+		cum[i] = acc
+	}
+
+	sched := &Schedule{Params: p}
+	for at := poissonStep(arrivals, p.Rate); at < p.Duration; at += poissonStep(arrivals, p.Rate) {
+		u := kinds.Float64()
+		var q serve.Query
+		switch {
+		case u < cum[0]:
+			q = serve.SSSPQuery{Source: drawRoot()}
+		case u < cum[1]:
+			q = serve.MSTQuery{}
+		case u < cum[2]:
+			q = serve.MinCutQuery{}
+		case u < cum[3]:
+			q = serve.TwoECSSQuery{}
+		default:
+			// The part draw reuses the root skew: hot roots, hot parts.
+			q = serve.QualityQuery{Part: int(drawRoot()) % nparts}
+		}
+		sched.Events = append(sched.Events, Event{At: at, Query: q})
+	}
+
+	if p.UpdateRate > 0 {
+		upd := subRng(p.Seed, 4)
+		deltas := subRng(p.Seed, 5)
+		// The delta stream evolves a mirror of the graph so each scheduled
+		// insertion targets an edge slot that is genuinely free at apply
+		// time (the updates apply in order against the same chain).
+		mg, mw := g, snap.Weights()
+		wscale := 1e-3
+		for at := poissonStep(upd, p.UpdateRate); at < p.Duration && len(sched.Updates) < p.MaxUpdates; at += poissonStep(upd, p.UpdateRate) {
+			wscale *= 0.5
+			d, err := insertDelta(mg, p.DeltaEdges, wscale, deltas)
+			if err != nil {
+				return nil, reproerr.Errorf(op, reproerr.KindInvalidInput, "update %d: %v", len(sched.Updates), err)
+			}
+			mg2, mw2, _, err := graph.ApplyDelta(mg, mw, d)
+			if err != nil {
+				return nil, fmt.Errorf("%s: mirroring update %d: %w", op, len(sched.Updates), err)
+			}
+			mg, mw = mg2, mw2
+			sched.Updates = append(sched.Updates, Update{At: at, Delta: d})
+		}
+	}
+	return sched, nil
+}
+
+// poissonStep draws one exponential inter-arrival gap for a Poisson process
+// of the given rate (events/second).
+func poissonStep(rng *rand.Rand, rate float64) time.Duration {
+	return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+}
+
+// insertDelta draws k distinct fresh edges (absent from g, deduplicated
+// within the delta) with weights in (wscale, 2·wscale].
+func insertDelta(g *graph.Graph, k int, wscale float64, rng *rand.Rand) (graph.Delta, error) {
+	n := g.NumNodes()
+	var d graph.Delta
+	for tries := 0; len(d.Insert) < k; tries++ {
+		if tries > 1000*k {
+			return d, fmt.Errorf("no free edge slot after %d tries (graph too dense?)", tries)
+		}
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		dup := false
+		for _, de := range d.Insert {
+			if de.U == u && de.V == v {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.Insert = append(d.Insert, graph.DeltaEdge{U: u, V: v, W: wscale * (1 + rng.Float64())})
+	}
+	return d, nil
+}

@@ -166,17 +166,33 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
 
 // Quantile returns the value at quantile q (0 < q ≤ 1): the lower bound of
 // the bucket holding the ⌈q·Count⌉-th smallest observation — exact for
-// values below 16, within 12.5% above. Returns 0 for an empty snapshot.
+// values below 16, within 12.5% above.
+//
+// An empty snapshot (Count == 0) has no observations to rank, so every
+// quantile returns the defined sentinel 0 — never garbage from bucket math.
+// 0 is also what a NaN q returns; q outside (0, 1] clamps to the nearest
+// valid rank (q ≤ 0 → the minimum observation, q > 1 → the maximum's
+// bucket), keeping the result a value that was actually observed.
 func (s *HistogramSnapshot) Quantile(q float64) int64 {
-	if s.Count == 0 || len(s.counts) == 0 {
+	if s.Count == 0 || len(s.counts) == 0 || q != q {
 		return 0
 	}
-	rank := int64(q*float64(s.Count) + 0.5)
-	if rank < 1 {
+	// Clamp q before the float→int conversion: ±Inf (and any q outside the
+	// contract) converted to int64 is platform-defined, not merely wrong.
+	var rank int64
+	switch {
+	case q <= 0:
 		rank = 1
-	}
-	if rank > s.Count {
+	case q >= 1:
 		rank = s.Count
+	default:
+		rank = int64(q*float64(s.Count) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > s.Count {
+			rank = s.Count
+		}
 	}
 	var cum int64
 	for i, c := range s.counts {

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEmptySnapshot pins the documented sentinel: a snapshot with no
+// observations answers 0 for every quantile — including the summary trio the
+// exposition layer reads — instead of leaking bucket math on an all-zero
+// count array. Both empty-snapshot shapes are covered: one taken from a
+// fresh histogram (counts allocated, all zero) and the zero-value snapshot
+// (counts nil, as a nil histogram or an unmerged zero value produces).
+func TestQuantileEmptySnapshot(t *testing.T) {
+	fresh := (&Histogram{}).Snapshot()
+	var zero HistogramSnapshot
+	for name, s := range map[string]HistogramSnapshot{"fresh": fresh, "zero": zero} {
+		if s.Count != 0 {
+			t.Fatalf("%s: Count = %d, want 0", name, s.Count)
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999, 1} {
+			if got := s.Quantile(q); got != 0 {
+				t.Errorf("%s: empty Quantile(%v) = %d, want sentinel 0", name, q, got)
+			}
+		}
+		if got := s.Mean(); got != 0 {
+			t.Errorf("%s: empty Mean() = %v, want 0", name, got)
+		}
+	}
+}
+
+// TestQuantileSingleObservation pins that one observation answers every
+// quantile with its own bucket — p50, p99, p999 and max all agree when
+// there is exactly one sample to rank.
+func TestQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(7)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	for _, q := range []float64{0.001, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("single-observation Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+	if s.Max != 7 {
+		t.Errorf("Max = %d, want 7", s.Max)
+	}
+}
+
+// TestQuantileDegenerateQ pins the out-of-contract q values: NaN returns
+// the sentinel 0, q ≤ 0 clamps to the minimum observation, and q > 1
+// (including +Inf, which would otherwise overflow the float→int rank
+// conversion into a platform-defined value) clamps to the top rank.
+func TestQuantileDegenerateQ(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 10; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(math.NaN()); got != 0 {
+		t.Errorf("Quantile(NaN) = %d, want sentinel 0", got)
+	}
+	for _, q := range []float64{0, -0.5, math.Inf(-1)} {
+		if got := s.Quantile(q); got != 1 {
+			t.Errorf("Quantile(%v) = %d, want minimum observation 1", q, got)
+		}
+	}
+	for _, q := range []float64{1.5, 2, math.Inf(1)} {
+		if got := s.Quantile(q); got != 10 {
+			t.Errorf("Quantile(%v) = %d, want top bucket 10", q, got)
+		}
+	}
+}
